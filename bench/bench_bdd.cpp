@@ -1,0 +1,168 @@
+/// \file bench_bdd.cpp
+/// \brief google-benchmark micro suite for the BDD substrate: connective
+/// throughput, quantification, relational product and renaming on
+/// structured functions (adders, parities, comparators).
+
+#include "bdd/bdd.hpp"
+
+#include <benchmark/benchmark.h>
+
+namespace {
+
+using namespace leq;
+
+/// n-bit ripple-carry adder sum and carry bits: classic BDD stress shape.
+std::vector<bdd> adder_sums(bdd_manager& mgr, std::uint32_t bits) {
+    std::vector<bdd> sums;
+    bdd carry = mgr.zero();
+    for (std::uint32_t k = 0; k < bits; ++k) {
+        const bdd a = mgr.var(2 * k);
+        const bdd b = mgr.var(2 * k + 1);
+        sums.push_back(a ^ b ^ carry);
+        carry = (a & b) | (carry & (a ^ b));
+    }
+    sums.push_back(carry);
+    return sums;
+}
+
+void bm_adder_build(benchmark::State& state) {
+    const auto bits = static_cast<std::uint32_t>(state.range(0));
+    for (auto _ : state) {
+        bdd_manager mgr(2 * bits);
+        benchmark::DoNotOptimize(adder_sums(mgr, bits));
+    }
+}
+BENCHMARK(bm_adder_build)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void bm_and_chain(benchmark::State& state) {
+    const auto bits = static_cast<std::uint32_t>(state.range(0));
+    bdd_manager mgr(2 * bits);
+    const std::vector<bdd> sums = adder_sums(mgr, bits);
+    for (auto _ : state) {
+        bdd acc = mgr.one();
+        for (const bdd& s : sums) { acc &= s; }
+        benchmark::DoNotOptimize(acc);
+    }
+}
+BENCHMARK(bm_and_chain)->Arg(8)->Arg(16)->Arg(32);
+
+void bm_xor_parity(benchmark::State& state) {
+    const auto n = static_cast<std::uint32_t>(state.range(0));
+    bdd_manager mgr(n);
+    for (auto _ : state) {
+        bdd acc = mgr.zero();
+        for (std::uint32_t v = 0; v < n; ++v) { acc ^= mgr.var(v); }
+        benchmark::DoNotOptimize(acc);
+    }
+}
+BENCHMARK(bm_xor_parity)->Arg(16)->Arg(64)->Arg(128);
+
+void bm_exists(benchmark::State& state) {
+    const auto bits = static_cast<std::uint32_t>(state.range(0));
+    bdd_manager mgr(2 * bits);
+    const std::vector<bdd> sums = adder_sums(mgr, bits);
+    bdd f = mgr.one();
+    for (const bdd& s : sums) { f &= s; }
+    std::vector<std::uint32_t> evens;
+    for (std::uint32_t v = 0; v < 2 * bits; v += 2) { evens.push_back(v); }
+    const bdd cube = mgr.cube(evens);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mgr.exists(f, cube));
+    }
+}
+BENCHMARK(bm_exists)->Arg(8)->Arg(16)->Arg(32);
+
+void bm_and_exists_vs_two_step(benchmark::State& state) {
+    const auto bits = static_cast<std::uint32_t>(state.range(0));
+    bdd_manager mgr(2 * bits);
+    const std::vector<bdd> sums = adder_sums(mgr, bits);
+    bdd f = mgr.one(), g = mgr.one();
+    for (std::uint32_t k = 0; k < sums.size(); ++k) {
+        (k % 2 ? f : g) &= sums[k];
+    }
+    std::vector<std::uint32_t> evens;
+    for (std::uint32_t v = 0; v < 2 * bits; v += 2) { evens.push_back(v); }
+    const bdd cube = mgr.cube(evens);
+    const bool fused = state.range(1) != 0;
+    for (auto _ : state) {
+        if (fused) {
+            benchmark::DoNotOptimize(mgr.and_exists(f, g, cube));
+        } else {
+            benchmark::DoNotOptimize(mgr.exists(f & g, cube));
+        }
+    }
+}
+BENCHMARK(bm_and_exists_vs_two_step)
+    ->Args({16, 0})
+    ->Args({16, 1})
+    ->Args({32, 0})
+    ->Args({32, 1});
+
+void bm_permute(benchmark::State& state) {
+    const auto bits = static_cast<std::uint32_t>(state.range(0));
+    bdd_manager mgr(2 * bits);
+    const std::vector<bdd> sums = adder_sums(mgr, bits);
+    bdd f = mgr.one();
+    for (const bdd& s : sums) { f &= s; }
+    std::vector<std::uint32_t> perm(2 * bits);
+    for (std::uint32_t v = 0; v < 2 * bits; ++v) { perm[v] = v ^ 1u; }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mgr.permute(f, perm));
+    }
+}
+BENCHMARK(bm_permute)->Arg(8)->Arg(16)->Arg(32);
+
+void bm_gc_pressure(benchmark::State& state) {
+    bdd_manager mgr(32);
+    for (auto _ : state) {
+        bdd junk = mgr.zero();
+        for (std::uint32_t v = 0; v + 2 < 32; ++v) {
+            junk |= mgr.var(v) & mgr.var(v + 1) & !mgr.var(v + 2);
+        }
+        benchmark::DoNotOptimize(junk);
+    }
+    state.counters["gc_runs"] =
+        static_cast<double>(mgr.stats().gc_runs);
+}
+BENCHMARK(bm_gc_pressure);
+
+void bm_sift_chain(benchmark::State& state) {
+    const auto pairs = static_cast<std::uint32_t>(state.range(0));
+    for (auto _ : state) {
+        state.PauseTiming();
+        bdd_manager mgr(2 * pairs);
+        // build in the worst order: evens above odds
+        std::vector<std::uint32_t> order;
+        for (std::uint32_t v = 0; v < 2 * pairs; v += 2) { order.push_back(v); }
+        for (std::uint32_t v = 1; v < 2 * pairs; v += 2) { order.push_back(v); }
+        mgr.set_var_order(order);
+        bdd f = mgr.zero();
+        for (std::uint32_t v = 0; v < pairs; ++v) {
+            f |= mgr.var(2 * v) & mgr.var(2 * v + 1);
+        }
+        state.ResumeTiming();
+        benchmark::DoNotOptimize(mgr.reorder_sift());
+        state.counters["nodes"] = static_cast<double>(mgr.dag_size(f));
+    }
+}
+BENCHMARK(bm_sift_chain)->Arg(6)->Arg(8)->Arg(10);
+
+void bm_compose_vector_vs_chain(benchmark::State& state) {
+    const auto bits = static_cast<std::uint32_t>(state.range(0));
+    bdd_manager mgr(3 * bits);
+    const std::vector<bdd> sums = adder_sums(mgr, bits);
+    bdd f = mgr.one();
+    for (const bdd& s : sums) { f &= s; }
+    std::vector<std::pair<std::uint32_t, bdd>> subs;
+    for (std::uint32_t k = 0; k < bits; ++k) {
+        subs.emplace_back(k, mgr.var(2 * bits + k) ^ mgr.var(k + bits));
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mgr.compose_vector(f, subs));
+    }
+}
+BENCHMARK(bm_compose_vector_vs_chain)->Arg(8)->Arg(16);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,390 @@
+/// \file automaton.cpp
+/// \brief Explicit automaton storage and the elementary operations.
+
+#include "automata/automaton.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <queue>
+#include <set>
+#include <stdexcept>
+
+namespace leq {
+
+std::uint32_t automaton::add_state(bool accepting) {
+    accepting_.push_back(accepting);
+    edges_.emplace_back();
+    return static_cast<std::uint32_t>(accepting_.size() - 1);
+}
+
+void automaton::add_transition(std::uint32_t src, std::uint32_t dest,
+                               const bdd& label) {
+    if (label.is_zero()) { return; }
+    for (transition& t : edges_[src]) {
+        if (t.dest == dest) {
+            t.label |= label;
+            return;
+        }
+    }
+    edges_[src].push_back({dest, label});
+}
+
+bdd automaton::domain(std::uint32_t state) const {
+    bdd d = mgr_->zero();
+    for (const transition& t : edges_[state]) { d |= t.label; }
+    return d;
+}
+
+std::size_t automaton::num_transitions() const {
+    std::size_t n = 0;
+    for (const auto& e : edges_) { n += e.size(); }
+    return n;
+}
+
+// ---------------------------------------------------------------------------
+
+bool is_deterministic(const automaton& a) {
+    for (std::uint32_t s = 0; s < a.num_states(); ++s) {
+        const auto& edges = a.transitions(s);
+        for (std::size_t i = 0; i < edges.size(); ++i) {
+            for (std::size_t j = i + 1; j < edges.size(); ++j) {
+                if (!(edges[i].label & edges[j].label).is_zero()) {
+                    return false;
+                }
+            }
+        }
+    }
+    return true;
+}
+
+bool is_complete(const automaton& a) {
+    for (std::uint32_t s = 0; s < a.num_states(); ++s) {
+        if (!a.domain(s).is_one()) { return false; }
+    }
+    return true;
+}
+
+automaton complete(const automaton& a) {
+    automaton r = a;
+    bool needed = false;
+    for (std::uint32_t s = 0; s < a.num_states(); ++s) {
+        if (!a.domain(s).is_one()) { needed = true; break; }
+    }
+    if (!needed) { return r; }
+    const std::uint32_t dc = r.add_state(false);
+    for (std::uint32_t s = 0; s < a.num_states(); ++s) {
+        const bdd undefined = !a.domain(s);
+        r.add_transition(s, dc, undefined);
+    }
+    r.add_transition(dc, dc, a.manager().one());
+    return r;
+}
+
+automaton complement(const automaton& a) {
+    if (!is_deterministic(a) || !is_complete(a)) {
+        throw std::logic_error(
+            "complement: automaton must be deterministic and complete");
+    }
+    automaton r = a;
+    for (std::uint32_t s = 0; s < r.num_states(); ++s) {
+        r.set_accepting(s, !a.accepting(s));
+    }
+    return r;
+}
+
+namespace {
+
+using state_set = std::vector<std::uint32_t>; // sorted member list
+
+/// Partition the label space by the outgoing edges of a subset of states:
+/// returns disjoint (region, successor subset) pairs covering exactly the
+/// assignments on which some member state moves.
+std::vector<std::pair<bdd, state_set>>
+split_regions(const automaton& a, const state_set& members) {
+    bdd_manager& mgr = a.manager();
+    std::vector<std::pair<bdd, std::set<std::uint32_t>>> regions;
+    regions.emplace_back(mgr.one(), std::set<std::uint32_t>{});
+    for (const std::uint32_t s : members) {
+        for (const transition& t : a.transitions(s)) {
+            std::vector<std::pair<bdd, std::set<std::uint32_t>>> next;
+            next.reserve(regions.size() * 2);
+            for (auto& [space, dests] : regions) {
+                const bdd hit = space & t.label;
+                const bdd miss = space & !t.label;
+                if (!hit.is_zero()) {
+                    auto with = dests;
+                    with.insert(t.dest);
+                    next.emplace_back(hit, std::move(with));
+                }
+                if (!miss.is_zero()) {
+                    next.emplace_back(miss, std::move(dests));
+                }
+            }
+            regions = std::move(next);
+        }
+    }
+    std::vector<std::pair<bdd, state_set>> result;
+    for (auto& [space, dests] : regions) {
+        if (dests.empty()) { continue; } // no transition here
+        result.emplace_back(space, state_set(dests.begin(), dests.end()));
+    }
+    return result;
+}
+
+} // namespace
+
+automaton determinize(const automaton& a) {
+    bdd_manager& mgr = a.manager();
+    automaton r(mgr, a.label_vars());
+    std::map<state_set, std::uint32_t> ids;
+    std::queue<state_set> work;
+
+    const auto subset_accepting = [&](const state_set& members) {
+        return std::any_of(members.begin(), members.end(),
+                           [&](std::uint32_t s) { return a.accepting(s); });
+    };
+    const auto intern = [&](const state_set& members) {
+        const auto it = ids.find(members);
+        if (it != ids.end()) { return it->second; }
+        const std::uint32_t id = r.add_state(subset_accepting(members));
+        ids.emplace(members, id);
+        work.push(members);
+        return id;
+    };
+
+    const state_set init{a.initial()};
+    r.set_initial(intern(init));
+    while (!work.empty()) {
+        const state_set members = work.front();
+        work.pop();
+        const std::uint32_t src = ids.at(members);
+        for (const auto& [region, dests] : split_regions(a, members)) {
+            r.add_transition(src, intern(dests), region);
+        }
+    }
+    return r;
+}
+
+automaton product(const automaton& a, const automaton& b) {
+    if (&a.manager() != &b.manager()) {
+        throw std::logic_error("product: different BDD managers");
+    }
+    bdd_manager& mgr = a.manager();
+    // union of supports
+    std::vector<std::uint32_t> vars = a.label_vars();
+    for (const std::uint32_t v : b.label_vars()) {
+        if (std::find(vars.begin(), vars.end(), v) == vars.end()) {
+            vars.push_back(v);
+        }
+    }
+    automaton r(mgr, vars);
+    std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint32_t> ids;
+    std::queue<std::pair<std::uint32_t, std::uint32_t>> work;
+    const auto intern = [&](std::uint32_t sa, std::uint32_t sb) {
+        const auto key = std::make_pair(sa, sb);
+        const auto it = ids.find(key);
+        if (it != ids.end()) { return it->second; }
+        const std::uint32_t id =
+            r.add_state(a.accepting(sa) && b.accepting(sb));
+        ids.emplace(key, id);
+        work.push(key);
+        return id;
+    };
+    r.set_initial(intern(a.initial(), b.initial()));
+    while (!work.empty()) {
+        const auto [sa, sb] = work.front();
+        work.pop();
+        const std::uint32_t src = ids.at({sa, sb});
+        for (const transition& ta : a.transitions(sa)) {
+            for (const transition& tb : b.transitions(sb)) {
+                const bdd label = ta.label & tb.label;
+                if (label.is_zero()) { continue; }
+                r.add_transition(src, intern(ta.dest, tb.dest), label);
+            }
+        }
+    }
+    return r;
+}
+
+automaton change_support(const automaton& a,
+                         const std::vector<std::uint32_t>& vars) {
+    bdd_manager& mgr = a.manager();
+    // variables to hide: in the current support but not in the new one
+    std::vector<std::uint32_t> hidden;
+    for (const std::uint32_t v : a.label_vars()) {
+        if (std::find(vars.begin(), vars.end(), v) == vars.end()) {
+            hidden.push_back(v);
+        }
+    }
+    const bdd cube = mgr.cube(hidden);
+    automaton r(mgr, vars);
+    for (std::uint32_t s = 0; s < a.num_states(); ++s) {
+        r.add_state(a.accepting(s));
+    }
+    r.set_initial(a.initial());
+    for (std::uint32_t s = 0; s < a.num_states(); ++s) {
+        for (const transition& t : a.transitions(s)) {
+            r.add_transition(s, t.dest, mgr.exists(t.label, cube));
+        }
+    }
+    return r;
+}
+
+automaton trim_unreachable(const automaton& a) {
+    std::vector<bool> reachable(a.num_states(), false);
+    std::queue<std::uint32_t> work;
+    reachable[a.initial()] = true;
+    work.push(a.initial());
+    while (!work.empty()) {
+        const std::uint32_t s = work.front();
+        work.pop();
+        for (const transition& t : a.transitions(s)) {
+            if (!reachable[t.dest]) {
+                reachable[t.dest] = true;
+                work.push(t.dest);
+            }
+        }
+    }
+    automaton r(a.manager(), a.label_vars());
+    std::vector<std::uint32_t> remap(a.num_states(), 0);
+    for (std::uint32_t s = 0; s < a.num_states(); ++s) {
+        if (reachable[s]) { remap[s] = r.add_state(a.accepting(s)); }
+    }
+    r.set_initial(remap[a.initial()]);
+    for (std::uint32_t s = 0; s < a.num_states(); ++s) {
+        if (!reachable[s]) { continue; }
+        for (const transition& t : a.transitions(s)) {
+            if (reachable[t.dest]) {
+                r.add_transition(remap[s], remap[t.dest], t.label);
+            }
+        }
+    }
+    return r;
+}
+
+namespace {
+
+/// Keep only the states in `keep` (which must include the initial state);
+/// drop transitions touching removed states.
+automaton restrict_states(const automaton& a, const std::vector<bool>& keep) {
+    automaton r(a.manager(), a.label_vars());
+    std::vector<std::uint32_t> remap(a.num_states(), 0);
+    for (std::uint32_t s = 0; s < a.num_states(); ++s) {
+        if (keep[s]) { remap[s] = r.add_state(a.accepting(s)); }
+    }
+    r.set_initial(remap[a.initial()]);
+    for (std::uint32_t s = 0; s < a.num_states(); ++s) {
+        if (!keep[s]) { continue; }
+        for (const transition& t : a.transitions(s)) {
+            if (keep[t.dest]) {
+                r.add_transition(remap[s], remap[t.dest], t.label);
+            }
+        }
+    }
+    return trim_unreachable(r);
+}
+
+/// The empty-language automaton: a single non-accepting state, no moves.
+automaton empty_language(bdd_manager& mgr,
+                         const std::vector<std::uint32_t>& vars) {
+    automaton r(mgr, vars);
+    r.set_initial(r.add_state(false));
+    return r;
+}
+
+} // namespace
+
+automaton prefix_close(const automaton& a) {
+    if (!a.accepting(a.initial())) {
+        return empty_language(a.manager(), a.label_vars());
+    }
+    std::vector<bool> keep(a.num_states());
+    for (std::uint32_t s = 0; s < a.num_states(); ++s) {
+        keep[s] = a.accepting(s);
+    }
+    return restrict_states(a, keep);
+}
+
+automaton progressive(const automaton& a,
+                      const std::vector<std::uint32_t>& input_vars) {
+    bdd_manager& mgr = a.manager();
+    // variables to abstract when checking input coverage: support \ inputs
+    std::vector<std::uint32_t> others;
+    for (const std::uint32_t v : a.label_vars()) {
+        if (std::find(input_vars.begin(), input_vars.end(), v) ==
+            input_vars.end()) {
+            others.push_back(v);
+        }
+    }
+    const bdd other_cube = mgr.cube(others);
+
+    std::vector<bool> alive(a.num_states(), true);
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::uint32_t s = 0; s < a.num_states(); ++s) {
+            if (!alive[s]) { continue; }
+            bdd dom = mgr.zero();
+            for (const transition& t : a.transitions(s)) {
+                if (alive[t.dest]) { dom |= t.label; }
+            }
+            // every input assignment must be enabled for some other-var value
+            if (!mgr.exists(dom, other_cube).is_one()) {
+                alive[s] = false;
+                changed = true;
+            }
+        }
+    }
+    if (!alive[a.initial()]) {
+        return empty_language(mgr, a.label_vars());
+    }
+    return restrict_states(a, alive);
+}
+
+// ---------------------------------------------------------------------------
+// language queries
+// ---------------------------------------------------------------------------
+
+bool language_empty(const automaton& a) {
+    const automaton t = trim_unreachable(a);
+    for (std::uint32_t s = 0; s < t.num_states(); ++s) {
+        if (t.accepting(s)) { return false; }
+    }
+    return true;
+}
+
+bool accepts(const automaton& a, const std::vector<std::vector<bool>>& word) {
+    bdd_manager& mgr = a.manager();
+    std::set<std::uint32_t> current{a.initial()};
+    for (const std::vector<bool>& letter : word) {
+        std::set<std::uint32_t> next;
+        for (const std::uint32_t s : current) {
+            for (const transition& t : a.transitions(s)) {
+                if (mgr.eval(t.label, letter)) { next.insert(t.dest); }
+            }
+        }
+        if (next.empty()) { return false; }
+        current = std::move(next);
+    }
+    for (const std::uint32_t s : current) {
+        if (a.accepting(s)) { return true; }
+    }
+    return false;
+}
+
+bool language_contained(const automaton& a, const automaton& b) {
+    if (a.label_vars() != b.label_vars()) {
+        throw std::logic_error("language_contained: support mismatch");
+    }
+    // a (subset) b  iff  L(a) & complement(L(b)) empty
+    const automaton bc = complement(complete(determinize(b)));
+    const automaton p = product(a, bc);
+    return language_empty(p);
+}
+
+bool language_equivalent(const automaton& a, const automaton& b) {
+    return language_contained(a, b) && language_contained(b, a);
+}
+
+} // namespace leq

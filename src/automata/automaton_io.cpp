@@ -1,0 +1,51 @@
+/// \file automaton_io.cpp
+/// \brief Automaton rendering.
+
+#include "automata/automaton_io.hpp"
+
+#include <ostream>
+
+namespace leq {
+
+void var_names::label(const std::vector<std::uint32_t>& vars,
+                      const std::string& prefix) {
+    for (std::size_t k = 0; k < vars.size(); ++k) {
+        names_[vars[k]] = prefix + std::to_string(k);
+    }
+}
+
+void print_automaton(std::ostream& out, const automaton& aut,
+                     const std::vector<std::string>& var_names) {
+    out << "automaton: " << aut.num_states() << " states, "
+        << aut.num_transitions() << " transitions, initial "
+        << aut.initial() << "\n";
+    for (std::uint32_t s = 0; s < aut.num_states(); ++s) {
+        out << "  state " << s << (aut.accepting(s) ? " (accepting)" : "")
+            << (s == aut.initial() ? " (initial)" : "") << "\n";
+        for (const transition& t : aut.transitions(s)) {
+            out << "    --[" << aut.manager().to_string(t.label, var_names)
+                << "]--> " << t.dest << "\n";
+        }
+    }
+}
+
+void write_dot(std::ostream& out, const automaton& aut,
+               const std::vector<std::string>& var_names,
+               const std::string& graph_name) {
+    out << "digraph " << graph_name << " {\n  rankdir=LR;\n"
+        << "  init [shape=point];\n";
+    for (std::uint32_t s = 0; s < aut.num_states(); ++s) {
+        out << "  s" << s << " [shape="
+            << (aut.accepting(s) ? "doublecircle" : "circle") << "];\n";
+    }
+    out << "  init -> s" << aut.initial() << ";\n";
+    for (std::uint32_t s = 0; s < aut.num_states(); ++s) {
+        for (const transition& t : aut.transitions(s)) {
+            out << "  s" << s << " -> s" << t.dest << " [label=\""
+                << aut.manager().to_string(t.label, var_names) << "\"];\n";
+        }
+    }
+    out << "}\n";
+}
+
+} // namespace leq

@@ -1,0 +1,35 @@
+/// \file automaton_io.hpp
+/// \brief Text and Graphviz rendering of explicit automata.
+#pragma once
+
+#include "automata/automaton.hpp"
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace leq {
+
+/// Human-readable listing: one line per transition with labels rendered as
+/// sum-of-cubes over `var_names` (indexed by BDD variable id).
+void print_automaton(std::ostream& out, const automaton& aut,
+                     const std::vector<std::string>& var_names);
+
+/// Graphviz dot output (accepting states doubly circled).
+void write_dot(std::ostream& out, const automaton& aut,
+               const std::vector<std::string>& var_names,
+               const std::string& graph_name = "automaton");
+
+/// Variable-name table for a manager: names[id] for the ids in each group.
+class var_names {
+public:
+    explicit var_names(std::size_t num_vars) : names_(num_vars) {}
+    void label(const std::vector<std::uint32_t>& vars,
+               const std::string& prefix);
+    [[nodiscard]] const std::vector<std::string>& get() const { return names_; }
+
+private:
+    std::vector<std::string> names_;
+};
+
+} // namespace leq

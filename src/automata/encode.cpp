@@ -1,0 +1,142 @@
+/// \file encode.cpp
+/// \brief FSM-to-network encoding.
+
+#include "automata/encode.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace leq {
+
+network automaton_to_network(const automaton& fsm,
+                             const std::vector<std::uint32_t>& u_vars,
+                             const std::vector<std::uint32_t>& v_vars,
+                             const std::vector<std::string>& input_names,
+                             const std::vector<std::string>& output_names,
+                             const std::string& model_name) {
+    if (input_names.size() != u_vars.size() ||
+        output_names.size() != v_vars.size()) {
+        throw std::invalid_argument("automaton_to_network: name counts");
+    }
+    if (!is_deterministic(fsm)) {
+        throw std::invalid_argument(
+            "automaton_to_network: FSM must be deterministic");
+    }
+    bdd_manager& mgr = fsm.manager();
+    const std::size_t n = fsm.num_states();
+    std::size_t bits = 0;
+    while ((std::size_t{1} << bits) < n) { ++bits; }
+    bits = std::max<std::size_t>(bits, 1);
+
+    // state codes: initial state must be the all-zero code (latch reset)
+    std::vector<std::uint32_t> code(n);
+    std::uint32_t next_code = 1;
+    for (std::uint32_t s = 0; s < n; ++s) {
+        code[s] = s == fsm.initial() ? 0 : next_code++;
+    }
+
+    network net(model_name);
+    for (const std::string& name : input_names) { net.add_input(name); }
+    for (const std::string& name : output_names) { net.add_output(name); }
+    for (std::size_t b = 0; b < bits; ++b) {
+        net.add_latch("st_n" + std::to_string(b), "st" + std::to_string(b),
+                      false);
+    }
+
+    // covers over fanins (st..., u...)
+    std::vector<std::string> fanins;
+    for (std::size_t b = 0; b < bits; ++b) {
+        fanins.push_back("st" + std::to_string(b));
+    }
+    for (const std::string& name : input_names) { fanins.push_back(name); }
+
+    // Moore detection: when every state commits to a single v assignment
+    // (independent of u), the output nodes can be driven by the state bits
+    // alone.  This removes the syntactic u -> v path, which is what lets
+    // compose_networks accept the result in a u = f(..., v) feedback loop
+    // (the combinational-cycle caveat of the paper's footnote 5).
+    const bdd u_cube = mgr.cube(u_vars);
+    const bdd v_cube = mgr.cube(v_vars);
+    std::vector<bdd> state_v(n);
+    bool moore = true;
+    for (std::uint32_t s = 0; s < n && moore; ++s) {
+        const bdd vs = mgr.exists(fsm.domain(s), u_cube);
+        if (mgr.sat_count(vs, static_cast<std::uint32_t>(v_vars.size())) !=
+            1.0) {
+            moore = false;
+            break;
+        }
+        for (const transition& t : fsm.transitions(s)) {
+            if (t.label != (mgr.exists(t.label, v_cube) & vs)) {
+                moore = false;
+                break;
+            }
+        }
+        state_v[s] = vs;
+    }
+
+    std::vector<std::vector<std::string>> ns_cubes(bits);
+    std::vector<std::vector<std::string>> out_cubes(output_names.size());
+
+    // label variables in the cube order we ask foreach_cube for
+    std::vector<std::uint32_t> label_vars = u_vars;
+    label_vars.insert(label_vars.end(), v_vars.begin(), v_vars.end());
+
+    for (std::uint32_t s = 0; s < n; ++s) {
+        std::string state_part(bits, '0');
+        for (std::size_t b = 0; b < bits; ++b) {
+            if ((code[s] >> b) & 1) { state_part[b] = '1'; }
+        }
+        if (moore) {
+            // output covers over the state bits only
+            for (std::size_t m = 0; m < v_vars.size(); ++m) {
+                if (!(state_v[s] & mgr.var(v_vars[m])).is_zero()) {
+                    out_cubes[m].push_back(state_part);
+                }
+            }
+        }
+        for (const transition& t : fsm.transitions(s)) {
+            mgr.foreach_cube(t.label, label_vars,
+                             [&](const std::vector<int>& values) {
+                std::string u_part(u_vars.size(), '-');
+                for (std::size_t m = 0; m < u_vars.size(); ++m) {
+                    if (values[m] != 2) {
+                        u_part[m] = static_cast<char>('0' + values[m]);
+                    }
+                }
+                const std::string row = state_part + u_part;
+                // next-state bits of the destination code
+                for (std::size_t b = 0; b < bits; ++b) {
+                    if ((code[t.dest] >> b) & 1) {
+                        ns_cubes[b].push_back(row);
+                    }
+                }
+                // output bits: v values of this cube (don't-care -> 0);
+                // in Moore form they were emitted per state above
+                if (!moore) {
+                    for (std::size_t m = 0; m < v_vars.size(); ++m) {
+                        if (values[u_vars.size() + m] == 1) {
+                            out_cubes[m].push_back(row);
+                        }
+                    }
+                }
+            });
+        }
+    }
+
+    for (std::size_t b = 0; b < bits; ++b) {
+        net.add_node("st_n" + std::to_string(b), fanins, ns_cubes[b]);
+    }
+    std::vector<std::string> out_fanins = fanins;
+    if (moore) {
+        out_fanins.assign(fanins.begin(),
+                          fanins.begin() + static_cast<std::ptrdiff_t>(bits));
+    }
+    for (std::size_t m = 0; m < output_names.size(); ++m) {
+        net.add_node(output_names[m], out_fanins, out_cubes[m]);
+    }
+    net.validate();
+    return net;
+}
+
+} // namespace leq

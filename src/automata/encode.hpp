@@ -1,0 +1,33 @@
+/// \file encode.hpp
+/// \brief Turn an extracted FSM automaton back into a sequential network.
+///
+/// Closes the synthesis loop: latch-split a circuit, compute the CSF,
+/// extract an implementation FSM, and re-encode it as a multi-level network
+/// that can be written to BLIF and dropped into a netlist.  States get a
+/// dense binary encoding (initial state = code 0); the next-state and
+/// output covers are read off the transition guards cube by cube.
+#pragma once
+
+#include "automata/automaton.hpp"
+#include "net/network.hpp"
+
+#include <string>
+#include <vector>
+
+namespace leq {
+
+/// \param fsm deterministic Mealy automaton over (u,v) as produced by
+///        extract_fsm: in every state, each u assignment enables exactly
+///        one transition and determines the v outputs.
+/// \param u_vars,v_vars the label variables playing input/output roles
+/// \param input_names,output_names port names for the network (sized like
+///        u_vars / v_vars)
+[[nodiscard]] network
+automaton_to_network(const automaton& fsm,
+                     const std::vector<std::uint32_t>& u_vars,
+                     const std::vector<std::uint32_t>& v_vars,
+                     const std::vector<std::string>& input_names,
+                     const std::vector<std::string>& output_names,
+                     const std::string& model_name = "extracted_fsm");
+
+} // namespace leq

@@ -1,0 +1,235 @@
+/// \file language_ops.cpp
+/// \brief Derived language operations: union, difference, prefix-closure
+/// test, shortest/witness word extraction and random word sampling.
+///
+/// These are conveniences layered on the elementary operations of
+/// automaton.cpp.  The witness extraction is what the verification layer
+/// (eq/verify) surfaces when one of the paper's containment checks fails:
+/// instead of a bare `false`, callers get a concrete input/output sequence
+/// distinguishing the two languages.
+
+#include "automata/automaton.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <random>
+#include <set>
+#include <stdexcept>
+
+namespace leq {
+
+namespace {
+
+/// One satisfying assignment of `label` over the listed variables;
+/// don't-care positions default to false.
+std::vector<bool> pick_letter(bdd_manager& mgr, const bdd& label,
+                              const std::vector<std::uint32_t>& vars) {
+    const bdd cube = mgr.pick_cube(label);
+    // decode the cube: walk it once per variable (cube is a single path)
+    std::size_t max_var = 0;
+    for (const std::uint32_t v : vars) {
+        max_var = std::max<std::size_t>(max_var, v);
+    }
+    std::vector<bool> letter(max_var + 1, false);
+    bdd walk = cube;
+    while (!walk.is_const()) {
+        const std::uint32_t v = walk.top_var();
+        if (walk.low().is_zero()) {
+            letter[v] = true;
+            walk = walk.high();
+        } else {
+            letter[v] = false;
+            walk = walk.low();
+        }
+    }
+    return letter;
+}
+
+} // namespace
+
+automaton union_automata(const automaton& a, const automaton& b) {
+    if (a.label_vars() != b.label_vars()) {
+        throw std::logic_error("union_automata: support mismatch");
+    }
+    if (&a.manager() != &b.manager()) {
+        throw std::logic_error("union_automata: manager mismatch");
+    }
+    automaton out(a.manager(), a.label_vars());
+    // a fresh initial state branching into both copies handles the case of
+    // differing acceptance of the empty word
+    const std::uint32_t init = out.add_state(
+        a.accepting(a.initial()) || b.accepting(b.initial()));
+    out.set_initial(init);
+    const std::uint32_t base_a = static_cast<std::uint32_t>(out.num_states());
+    for (std::uint32_t s = 0; s < a.num_states(); ++s) {
+        out.add_state(a.accepting(s));
+    }
+    const std::uint32_t base_b = static_cast<std::uint32_t>(out.num_states());
+    for (std::uint32_t s = 0; s < b.num_states(); ++s) {
+        out.add_state(b.accepting(s));
+    }
+    for (std::uint32_t s = 0; s < a.num_states(); ++s) {
+        for (const transition& t : a.transitions(s)) {
+            out.add_transition(base_a + s, base_a + t.dest, t.label);
+        }
+    }
+    for (std::uint32_t s = 0; s < b.num_states(); ++s) {
+        for (const transition& t : b.transitions(s)) {
+            out.add_transition(base_b + s, base_b + t.dest, t.label);
+        }
+    }
+    for (const transition& t : a.transitions(a.initial())) {
+        out.add_transition(init, base_a + t.dest, t.label);
+    }
+    for (const transition& t : b.transitions(b.initial())) {
+        out.add_transition(init, base_b + t.dest, t.label);
+    }
+    return out;
+}
+
+automaton difference(const automaton& a, const automaton& b) {
+    if (a.label_vars() != b.label_vars()) {
+        throw std::logic_error("difference: support mismatch");
+    }
+    const automaton bc = complement(complete(determinize(b)));
+    return product(a, bc);
+}
+
+bool is_prefix_closed(const automaton& a) {
+    // Over the trimmed automaton: the language is prefix-closed iff every
+    // state from which an accepting state is reachable is itself accepting.
+    // (Any run prefix ends in such a state; its word must be accepted, and
+    // for non-deterministic automata some accepting run witnesses it —
+    // determinize first so runs and words coincide.)
+    const automaton d = trim_unreachable(determinize(a));
+    if (language_empty(d)) { return true; } // empty language: vacuously closed
+    // backward closure of the accepting set
+    std::vector<std::vector<std::uint32_t>> preds(d.num_states());
+    for (std::uint32_t s = 0; s < d.num_states(); ++s) {
+        for (const transition& t : d.transitions(s)) {
+            preds[t.dest].push_back(s);
+        }
+    }
+    std::vector<bool> can_reach(d.num_states(), false);
+    std::queue<std::uint32_t> queue;
+    for (std::uint32_t s = 0; s < d.num_states(); ++s) {
+        if (d.accepting(s)) {
+            can_reach[s] = true;
+            queue.push(s);
+        }
+    }
+    while (!queue.empty()) {
+        const std::uint32_t s = queue.front();
+        queue.pop();
+        for (const std::uint32_t p : preds[s]) {
+            if (!can_reach[p]) {
+                can_reach[p] = true;
+                queue.push(p);
+            }
+        }
+    }
+    for (std::uint32_t s = 0; s < d.num_states(); ++s) {
+        if (can_reach[s] && !d.accepting(s)) { return false; }
+    }
+    return true;
+}
+
+std::optional<word> shortest_accepted_word(const automaton& a) {
+    bdd_manager& mgr = a.manager();
+    // BFS over states: a shortest accepting run spells a shortest accepted
+    // word (any accepting path yields an accepted word and vice versa)
+    std::vector<std::int64_t> parent(a.num_states(), -1);
+    std::vector<bdd> via(a.num_states());
+    std::vector<bool> seen(a.num_states(), false);
+    std::queue<std::uint32_t> queue;
+    seen[a.initial()] = true;
+    queue.push(a.initial());
+    std::int64_t goal = a.accepting(a.initial())
+                            ? static_cast<std::int64_t>(a.initial())
+                            : -1;
+    while (goal < 0 && !queue.empty()) {
+        const std::uint32_t s = queue.front();
+        queue.pop();
+        for (const transition& t : a.transitions(s)) {
+            if (seen[t.dest] || t.label.is_zero()) { continue; }
+            seen[t.dest] = true;
+            parent[t.dest] = s;
+            via[t.dest] = t.label;
+            if (a.accepting(t.dest)) {
+                goal = t.dest;
+                break;
+            }
+            queue.push(t.dest);
+        }
+    }
+    if (goal < 0) { return std::nullopt; }
+    word w;
+    for (std::uint32_t s = static_cast<std::uint32_t>(goal);
+         parent[s] >= 0; s = static_cast<std::uint32_t>(parent[s])) {
+        w.push_back(pick_letter(mgr, via[s], a.label_vars()));
+    }
+    std::reverse(w.begin(), w.end());
+    return w;
+}
+
+std::optional<word> containment_counterexample(const automaton& a,
+                                               const automaton& b) {
+    return shortest_accepted_word(difference(a, b));
+}
+
+double count_words(const automaton& a, std::size_t length) {
+    bdd_manager& mgr = a.manager();
+    const automaton d = is_deterministic(a) ? trim_unreachable(a)
+                                            : trim_unreachable(determinize(a));
+    const auto nbits = static_cast<std::uint32_t>(d.label_vars().size());
+    // backward dynamic program: words[s] = accepted words of the remaining
+    // length from s; one letter costs sat_count(label) ways per transition
+    std::vector<double> words(d.num_states());
+    for (std::uint32_t s = 0; s < d.num_states(); ++s) {
+        words[s] = d.accepting(s) ? 1.0 : 0.0;
+    }
+    for (std::size_t step = 0; step < length; ++step) {
+        std::vector<double> next(d.num_states(), 0.0);
+        for (std::uint32_t s = 0; s < d.num_states(); ++s) {
+            for (const transition& t : d.transitions(s)) {
+                if (words[t.dest] == 0.0) { continue; }
+                next[s] += mgr.sat_count(t.label, nbits) * words[t.dest];
+            }
+        }
+        words = std::move(next);
+    }
+    return words[d.initial()];
+}
+
+std::vector<word> sample_accepted_words(const automaton& a, std::size_t count,
+                                        std::size_t max_len,
+                                        std::uint32_t seed) {
+    bdd_manager& mgr = a.manager();
+    std::mt19937 rng(seed);
+    std::set<word> found;
+    // each attempt: random walk from the initial state, recording the word
+    // whenever the current state subset contains an accepting state
+    const std::size_t attempts = count * 8 + 16;
+    for (std::size_t k = 0; k < attempts && found.size() < count; ++k) {
+        std::uint32_t s = a.initial();
+        word w;
+        if (a.accepting(s)) { found.insert(w); }
+        for (std::size_t step = 0; step < max_len; ++step) {
+            const auto& ts = a.transitions(s);
+            std::vector<const transition*> enabled;
+            for (const transition& t : ts) {
+                if (!t.label.is_zero()) { enabled.push_back(&t); }
+            }
+            if (enabled.empty()) { break; }
+            const transition* t =
+                enabled[std::uniform_int_distribution<std::size_t>(
+                    0, enabled.size() - 1)(rng)];
+            w.push_back(pick_letter(mgr, t->label, a.label_vars()));
+            s = t->dest;
+            if (a.accepting(s)) { found.insert(w); }
+        }
+    }
+    return {found.begin(), found.end()};
+}
+
+} // namespace leq

@@ -1,0 +1,66 @@
+/// \file stg.cpp
+/// \brief Explicit STG extraction by exhaustive simulation.
+
+#include "automata/stg.hpp"
+
+#include <map>
+#include <queue>
+#include <stdexcept>
+
+namespace leq {
+
+automaton network_to_automaton(bdd_manager& mgr, const network& net,
+                               const std::vector<std::uint32_t>& input_vars,
+                               const std::vector<std::uint32_t>& output_vars,
+                               std::size_t max_states) {
+    if (input_vars.size() != net.num_inputs() ||
+        output_vars.size() != net.num_outputs()) {
+        throw std::invalid_argument("network_to_automaton: variable counts");
+    }
+    if (net.num_inputs() > 20) {
+        throw std::invalid_argument(
+            "network_to_automaton: too many inputs for explicit extraction");
+    }
+    std::vector<std::uint32_t> label_vars = input_vars;
+    label_vars.insert(label_vars.end(), output_vars.begin(),
+                      output_vars.end());
+    automaton aut(mgr, label_vars);
+
+    std::map<std::vector<bool>, std::uint32_t> ids;
+    std::queue<std::vector<bool>> work;
+    const auto intern = [&](const std::vector<bool>& state) {
+        const auto it = ids.find(state);
+        if (it != ids.end()) { return it->second; }
+        if (ids.size() >= max_states) {
+            throw std::runtime_error("network_to_automaton: state cap hit");
+        }
+        const std::uint32_t id = aut.add_state(true); // FSM: all accepting
+        ids.emplace(state, id);
+        work.push(state);
+        return id;
+    };
+
+    aut.set_initial(intern(net.initial_state()));
+    const std::size_t ni = net.num_inputs();
+    while (!work.empty()) {
+        const std::vector<bool> state = work.front();
+        work.pop();
+        const std::uint32_t src = ids.at(state);
+        for (std::size_t m = 0; m < (std::size_t{1} << ni); ++m) {
+            std::vector<bool> in(ni);
+            for (std::size_t b = 0; b < ni; ++b) { in[b] = ((m >> b) & 1) != 0; }
+            const auto r = net.simulate(state, in);
+            bdd label = mgr.one();
+            for (std::size_t b = 0; b < ni; ++b) {
+                label &= mgr.literal(input_vars[b], in[b]);
+            }
+            for (std::size_t j = 0; j < r.outputs.size(); ++j) {
+                label &= mgr.literal(output_vars[j], r.outputs[j]);
+            }
+            aut.add_transition(src, intern(r.next_state), label);
+        }
+    }
+    return aut;
+}
+
+} // namespace leq

@@ -1,0 +1,32 @@
+/// \file stg.hpp
+/// \brief Extract the state transition graph of a sequential network as an
+/// explicit automaton.
+///
+/// Per the paper (Section 2): the automaton of a network is obtained by
+/// taking the union of the network's inputs and outputs as the automaton's
+/// input alphabet; every reachable state is accepting (the network is an FSM
+/// and hence prefix-closed).  The result is deterministic and, in general,
+/// incomplete: in a state, the only defined (i,o) combinations are those
+/// where o equals the network's output under i.
+///
+/// Exhaustive over the 2^|i| input combinations per state; intended for the
+/// explicit oracle on small circuits.
+#pragma once
+
+#include "automata/automaton.hpp"
+#include "net/network.hpp"
+
+#include <vector>
+
+namespace leq {
+
+/// \param input_vars  label variable per network input
+/// \param output_vars label variable per network output
+/// \param max_states  safety cap; throws std::runtime_error beyond it
+[[nodiscard]] automaton
+network_to_automaton(bdd_manager& mgr, const network& net,
+                     const std::vector<std::uint32_t>& input_vars,
+                     const std::vector<std::uint32_t>& output_vars,
+                     std::size_t max_states = 1u << 20);
+
+} // namespace leq

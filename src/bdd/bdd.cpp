@@ -1,0 +1,270 @@
+/// \file bdd.cpp
+/// \brief Manager core: node arena, unique table, handles, garbage collection.
+
+#include "bdd/bdd.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace leq {
+
+// ---------------------------------------------------------------------------
+// bdd handle
+// ---------------------------------------------------------------------------
+
+bdd::bdd(bdd_manager* mgr, std::uint32_t idx) : mgr_(mgr), idx_(idx) {
+    mgr_->inc_ext_ref(idx_);
+}
+
+bdd::bdd(const bdd& other) : mgr_(other.mgr_), idx_(other.idx_) {
+    if (mgr_ != nullptr) { mgr_->inc_ext_ref(idx_); }
+}
+
+bdd::bdd(bdd&& other) noexcept : mgr_(other.mgr_), idx_(other.idx_) {
+    other.mgr_ = nullptr;
+    other.idx_ = 0;
+}
+
+bdd& bdd::operator=(const bdd& other) {
+    if (this == &other) { return *this; }
+    if (other.mgr_ != nullptr) { other.mgr_->inc_ext_ref(other.idx_); }
+    release();
+    mgr_ = other.mgr_;
+    idx_ = other.idx_;
+    return *this;
+}
+
+bdd& bdd::operator=(bdd&& other) noexcept {
+    if (this == &other) { return *this; }
+    release();
+    mgr_ = other.mgr_;
+    idx_ = other.idx_;
+    other.mgr_ = nullptr;
+    other.idx_ = 0;
+    return *this;
+}
+
+bdd::~bdd() { release(); }
+
+void bdd::release() {
+    if (mgr_ != nullptr) {
+        mgr_->dec_ext_ref(idx_);
+        mgr_ = nullptr;
+        idx_ = 0;
+    }
+}
+
+bool bdd::is_zero() const { return mgr_ != nullptr && idx_ == 0; }
+bool bdd::is_one() const { return mgr_ != nullptr && idx_ == 1; }
+
+bdd bdd::operator&(const bdd& other) const { return mgr_->apply_and(*this, other); }
+bdd bdd::operator|(const bdd& other) const { return mgr_->apply_or(*this, other); }
+bdd bdd::operator^(const bdd& other) const { return mgr_->apply_xor(*this, other); }
+bdd bdd::operator!() const { return mgr_->apply_not(*this); }
+
+bdd& bdd::operator&=(const bdd& other) { return *this = *this & other; }
+bdd& bdd::operator|=(const bdd& other) { return *this = *this | other; }
+bdd& bdd::operator^=(const bdd& other) { return *this = *this ^ other; }
+
+bdd bdd::implies(const bdd& other) const { return (!*this) | other; }
+bdd bdd::iff(const bdd& other) const { return !(*this ^ other); }
+
+bool bdd::leq(const bdd& other) const {
+    return (*this & !other).is_zero();
+}
+
+std::uint32_t bdd::top_var() const {
+    assert(mgr_ != nullptr && idx_ > 1);
+    return mgr_->nodes_[idx_].var;
+}
+
+bdd bdd::high() const {
+    assert(mgr_ != nullptr && idx_ > 1);
+    return bdd(mgr_, mgr_->nodes_[idx_].hi);
+}
+
+bdd bdd::low() const {
+    assert(mgr_ != nullptr && idx_ > 1);
+    return bdd(mgr_, mgr_->nodes_[idx_].lo);
+}
+
+// ---------------------------------------------------------------------------
+// manager construction
+// ---------------------------------------------------------------------------
+
+bdd_manager::bdd_manager(std::uint32_t num_vars, unsigned cache_bits) {
+    nodes_.reserve(1u << 12);
+    // constants: index 0 = FALSE, index 1 = TRUE
+    nodes_.push_back({var_nil, 0, 0, idx_nil});
+    nodes_.push_back({var_nil, 1, 1, idx_nil});
+    ext_ref_.assign(2, 1); // constants are permanently live
+    buckets_.assign(1u << 12, idx_nil);
+    cache_.assign(std::size_t{1} << cache_bits, cache_entry{});
+    cache_mask_ = (std::uint64_t{1} << cache_bits) - 1;
+    for (std::uint32_t v = 0; v < num_vars; ++v) { new_var(); }
+}
+
+bdd_manager::~bdd_manager() = default;
+
+std::uint32_t bdd_manager::new_var() {
+    const auto v = static_cast<std::uint32_t>(var2level_.size());
+    var2level_.push_back(v);
+    level2var_.push_back(v);
+    stats_.num_vars = var2level_.size();
+    return v;
+}
+
+bdd bdd_manager::var(std::uint32_t v) {
+    assert(v < num_vars());
+    return make(mk(v, 0, 1));
+}
+
+bdd bdd_manager::nvar(std::uint32_t v) {
+    assert(v < num_vars());
+    return make(mk(v, 1, 0));
+}
+
+// ---------------------------------------------------------------------------
+// unique table
+// ---------------------------------------------------------------------------
+
+std::uint32_t bdd_manager::mk(std::uint32_t var, std::uint32_t lo,
+                              std::uint32_t hi) {
+    if (lo == hi) { return lo; }
+    const std::uint64_t h = node_hash(var, lo, hi) & (buckets_.size() - 1);
+    for (std::uint32_t i = buckets_[h]; i != idx_nil; i = nodes_[i].next) {
+        const node& n = nodes_[i];
+        if (n.var == var && n.lo == lo && n.hi == hi) { return i; }
+    }
+    const std::uint32_t idx = alloc_node();
+    // alloc_node may have rehashed (grown) the table: recompute the bucket
+    const std::uint64_t h2 = node_hash(var, lo, hi) & (buckets_.size() - 1);
+    nodes_[idx] = {var, lo, hi, buckets_[h2]};
+    buckets_[h2] = idx;
+    return idx;
+}
+
+std::uint32_t bdd_manager::alloc_node() {
+    if (!free_list_.empty()) {
+        const std::uint32_t idx = free_list_.back();
+        free_list_.pop_back();
+        return idx;
+    }
+    const auto idx = static_cast<std::uint32_t>(nodes_.size());
+    if (idx == idx_nil) { throw std::length_error("bdd_manager: node arena full"); }
+    nodes_.push_back({});
+    ext_ref_.push_back(0);
+    if (nodes_.size() > buckets_.size()) { rehash(buckets_.size() * 2); }
+    return idx;
+}
+
+void bdd_manager::unique_insert(std::uint32_t idx) {
+    const node& n = nodes_[idx];
+    const std::uint64_t h = node_hash(n.var, n.lo, n.hi) & (buckets_.size() - 1);
+    nodes_[idx].next = buckets_[h];
+    buckets_[h] = idx;
+}
+
+void bdd_manager::rehash(std::size_t new_size) {
+    // only called while growing the arena, i.e. with an empty free list, so
+    // every node in the arena belongs in the table (dead ones are culled by
+    // the next GC)
+    assert(free_list_.empty());
+    buckets_.assign(new_size, idx_nil);
+    for (std::uint32_t i = 2; i < nodes_.size(); ++i) { unique_insert(i); }
+}
+
+// ---------------------------------------------------------------------------
+// external references and garbage collection
+// ---------------------------------------------------------------------------
+
+void bdd_manager::inc_ext_ref(std::uint32_t idx) { ++ext_ref_[idx]; }
+
+void bdd_manager::dec_ext_ref(std::uint32_t idx) {
+    assert(ext_ref_[idx] > 0);
+    --ext_ref_[idx];
+}
+
+void bdd_manager::maybe_gc_or_grow() {
+    if (nodes_.size() - free_list_.size() >= gc_threshold_) {
+        collect_garbage();
+        // if GC freed less than a quarter, raise the bar
+        if (nodes_.size() - free_list_.size() > gc_threshold_ / 4 * 3) {
+            gc_threshold_ *= 2;
+        }
+    }
+}
+
+void bdd_manager::collect_garbage() {
+    ++stats_.gc_runs;
+    mark_.assign(nodes_.size(), 0);
+    mark_[0] = mark_[1] = 1;
+    std::vector<std::uint32_t> stack;
+    for (std::uint32_t i = 2; i < nodes_.size(); ++i) {
+        if (ext_ref_[i] > 0 && !mark_[i]) {
+            stack.push_back(i);
+            mark_[i] = 1;
+            while (!stack.empty()) {
+                const std::uint32_t n = stack.back();
+                stack.pop_back();
+                for (const std::uint32_t c : {nodes_[n].lo, nodes_[n].hi}) {
+                    if (!mark_[c]) {
+                        mark_[c] = 1;
+                        if (c > 1) { stack.push_back(c); }
+                    }
+                }
+            }
+        }
+    }
+    // sweep: rebuild unique table with only live nodes
+    free_list_.clear();
+    for (auto& b : buckets_) { b = idx_nil; }
+    std::size_t live = 2;
+    for (std::uint32_t i = 2; i < nodes_.size(); ++i) {
+        if (mark_[i]) {
+            unique_insert(i);
+            ++live;
+        } else {
+            free_list_.push_back(i);
+        }
+    }
+    stats_.live_nodes = live;
+    stats_.allocated_nodes = nodes_.size();
+    cache_clear();
+}
+
+std::size_t bdd_manager::live_node_count() {
+    collect_garbage();
+    return stats_.live_nodes;
+}
+
+// ---------------------------------------------------------------------------
+// computed cache
+// ---------------------------------------------------------------------------
+
+bool bdd_manager::cache_lookup(op o, std::uint32_t f, std::uint32_t g,
+                               std::uint32_t h, std::uint32_t& result) {
+    ++stats_.cache_lookups;
+    const std::uint64_t slot =
+        node_hash((static_cast<std::uint64_t>(o) << 32) | f, g, h) & cache_mask_;
+    const cache_entry& e = cache_[slot];
+    if (e.f == f && e.g == g && e.h == h && e.o == static_cast<std::uint8_t>(o)) {
+        result = e.result;
+        ++stats_.cache_hits;
+        return true;
+    }
+    return false;
+}
+
+void bdd_manager::cache_store(op o, std::uint32_t f, std::uint32_t g,
+                              std::uint32_t h, std::uint32_t result) {
+    const std::uint64_t slot =
+        node_hash((static_cast<std::uint64_t>(o) << 32) | f, g, h) & cache_mask_;
+    cache_[slot] = {f, g, h, result, static_cast<std::uint8_t>(o)};
+}
+
+void bdd_manager::cache_clear() {
+    for (auto& e : cache_) { e = cache_entry{}; }
+}
+
+} // namespace leq

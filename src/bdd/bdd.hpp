@@ -1,0 +1,374 @@
+/// \file bdd.hpp
+/// \brief A self-contained ROBDD package (substitute for CUDD in this build).
+///
+/// The package implements reduced ordered binary decision diagrams with a
+/// unique table, a direct-mapped computed cache, mark-and-sweep garbage
+/// collection driven by externally held handles, quantification,
+/// relational-product (and-exists), variable permutation and composition.
+///
+/// Design notes:
+///  * Nodes are addressed by 32-bit indices; index 0 is the constant FALSE
+///    and index 1 the constant TRUE.  Handles (`leq::bdd`) are RAII wrappers
+///    that register the root with the manager so garbage collection never
+///    frees live results.
+///  * No complement edges: negation is a cached operation.  This keeps the
+///    canonical form simple; the computed cache makes repeated negation
+///    cheap.
+///  * Variables are identified by a stable id; the manager maps ids to
+///    levels so the order can differ from creation order.  Orders are
+///    static: the language-equation solver pins the (u,v) block at the top
+///    of the order (its subset construction reads successor classes straight
+///    off the BDD structure), so dynamic reordering is deliberately not
+///    offered.  Choose the order up front with set_var_order().
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace leq {
+
+class bdd_manager;
+
+/// RAII handle to a BDD node.  Copying/destroying maintains the external
+/// reference count that protects the node from garbage collection.
+class bdd {
+public:
+    bdd() = default;
+    bdd(const bdd& other);
+    bdd(bdd&& other) noexcept;
+    bdd& operator=(const bdd& other);
+    bdd& operator=(bdd&& other) noexcept;
+    ~bdd();
+
+    /// True if the handle points into a manager (even the constant nodes).
+    [[nodiscard]] bool valid() const { return mgr_ != nullptr; }
+    [[nodiscard]] bool is_zero() const;
+    [[nodiscard]] bool is_one() const;
+    [[nodiscard]] bool is_const() const { return is_zero() || is_one(); }
+
+    /// Structural equality: canonical BDDs are equal iff the indices match.
+    friend bool operator==(const bdd& a, const bdd& b) {
+        return a.mgr_ == b.mgr_ && a.idx_ == b.idx_;
+    }
+    friend bool operator!=(const bdd& a, const bdd& b) { return !(a == b); }
+
+    bdd operator&(const bdd& other) const;
+    bdd operator|(const bdd& other) const;
+    bdd operator^(const bdd& other) const;
+    bdd operator!() const;
+    bdd& operator&=(const bdd& other);
+    bdd& operator|=(const bdd& other);
+    bdd& operator^=(const bdd& other);
+
+    /// Boolean implication (f -> g), i.e. !f | g.
+    [[nodiscard]] bdd implies(const bdd& other) const;
+    /// Boolean equivalence (f <-> g), i.e. !(f ^ g).
+    [[nodiscard]] bdd iff(const bdd& other) const;
+
+    /// True iff this function is contained in `other` (f & !g == 0).
+    [[nodiscard]] bool leq(const bdd& other) const;
+
+    /// Top variable id; only valid on non-constant nodes.
+    [[nodiscard]] std::uint32_t top_var() const;
+    /// Positive/negative cofactor with respect to the top variable.
+    [[nodiscard]] bdd high() const;
+    [[nodiscard]] bdd low() const;
+
+    [[nodiscard]] bdd_manager* manager() const { return mgr_; }
+    /// Raw node index (stable across GC; for use as a hash/map key).
+    [[nodiscard]] std::uint32_t index() const { return idx_; }
+
+private:
+    friend class bdd_manager;
+    bdd(bdd_manager* mgr, std::uint32_t idx);
+    void release();
+
+    bdd_manager* mgr_ = nullptr;
+    std::uint32_t idx_ = 0;
+};
+
+/// Statistics snapshot for diagnostics and benchmarking.
+struct bdd_stats {
+    std::size_t live_nodes = 0;     ///< nodes reachable from external roots
+    std::size_t allocated_nodes = 0;///< nodes in the arena (live + garbage)
+    std::size_t num_vars = 0;
+    std::size_t gc_runs = 0;
+    std::size_t cache_lookups = 0;
+    std::size_t cache_hits = 0;
+    std::size_t reorderings = 0;
+};
+
+/// The BDD manager: node arena, unique table, computed cache and the
+/// recursive algorithms.  All `bdd` handles stay valid across garbage
+/// collection and dynamic reordering (indices are stable; reordering
+/// rewrites node contents in place).
+class bdd_manager {
+public:
+    /// \param num_vars   initial number of variables (ids 0..num_vars-1)
+    /// \param cache_bits log2 of the computed-cache size
+    explicit bdd_manager(std::uint32_t num_vars = 0, unsigned cache_bits = 18);
+    ~bdd_manager();
+
+    bdd_manager(const bdd_manager&) = delete;
+    bdd_manager& operator=(const bdd_manager&) = delete;
+
+    // ---- variables -------------------------------------------------------
+    /// Append a fresh variable at the bottom of the order; returns its id.
+    std::uint32_t new_var();
+    [[nodiscard]] std::uint32_t num_vars() const {
+        return static_cast<std::uint32_t>(var2level_.size());
+    }
+    [[nodiscard]] std::uint32_t level_of(std::uint32_t var) const {
+        return var2level_[var];
+    }
+    [[nodiscard]] std::uint32_t var_at_level(std::uint32_t level) const {
+        return level2var_[level];
+    }
+    /// Install a new order given as a permutation: order[k] = variable id at
+    /// level k.  Must be called before any BDDs are built (only constant
+    /// handles may be live); the typical pattern is to create all variables,
+    /// choose an interleaved order, then build.
+    void set_var_order(const std::vector<std::uint32_t>& order);
+
+    // ---- constants and literals -----------------------------------------
+    [[nodiscard]] bdd zero() { return make(0); }
+    [[nodiscard]] bdd one() { return make(1); }
+    [[nodiscard]] bdd var(std::uint32_t v);
+    [[nodiscard]] bdd nvar(std::uint32_t v);
+    /// Literal: var v if phase is true else its negation.
+    [[nodiscard]] bdd literal(std::uint32_t v, bool phase) {
+        return phase ? var(v) : nvar(v);
+    }
+
+    // ---- core operations -------------------------------------------------
+    [[nodiscard]] bdd apply_and(const bdd& f, const bdd& g);
+    [[nodiscard]] bdd apply_or(const bdd& f, const bdd& g);
+    [[nodiscard]] bdd apply_xor(const bdd& f, const bdd& g);
+    [[nodiscard]] bdd apply_not(const bdd& f);
+    [[nodiscard]] bdd ite(const bdd& f, const bdd& g, const bdd& h);
+
+    /// Existential quantification of all variables in `cube` (a positive
+    /// product of the variables to eliminate).
+    [[nodiscard]] bdd exists(const bdd& f, const bdd& cube);
+    [[nodiscard]] bdd forall(const bdd& f, const bdd& cube);
+    /// Relational product: exists(cube, f & g) computed in one pass.
+    [[nodiscard]] bdd and_exists(const bdd& f, const bdd& g, const bdd& cube);
+
+    /// Rename variables: result(x) = f(x with var v replaced by perm[v]).
+    /// `perm` must be defined for every variable in the support of f.
+    [[nodiscard]] bdd permute(const bdd& f,
+                              const std::vector<std::uint32_t>& perm);
+    /// Functional composition: substitute g for variable v in f.
+    [[nodiscard]] bdd compose(const bdd& f, std::uint32_t v, const bdd& g);
+    /// Simultaneous composition: substitute every listed (variable,
+    /// function) pair at once.  Unlike chained compose() calls the
+    /// substituted functions never see each other's variables.
+    [[nodiscard]] bdd compose_vector(
+        const bdd& f,
+        const std::vector<std::pair<std::uint32_t, bdd>>& substitutions);
+    /// Cofactor with respect to a (possibly negative-literal) cube.
+    [[nodiscard]] bdd cofactor(const bdd& f, const bdd& cube);
+
+    /// Coudert-Madre constrain (generalized cofactor): a function agreeing
+    /// with f on the care set c (c != 0), with image property
+    /// constrain(f,c) & c == f & c.
+    [[nodiscard]] bdd constrain(const bdd& f, const bdd& c);
+    /// Coudert-Madre restrict: like constrain but prunes variables absent
+    /// from f's support at each level, usually giving a smaller result;
+    /// restrict(f,c) & c == f & c.
+    [[nodiscard]] bdd restrict_dc(const bdd& f, const bdd& c);
+
+    // ---- structural queries ----------------------------------------------
+    /// Support of f as a positive cube.
+    [[nodiscard]] bdd support_cube(const bdd& f);
+    /// Support of f as a sorted list of variable ids.
+    [[nodiscard]] std::vector<std::uint32_t> support(const bdd& f);
+    /// Number of DAG nodes (including constants) reachable from f.
+    [[nodiscard]] std::size_t dag_size(const bdd& f);
+    /// Number of satisfying assignments over `nvars` variables.
+    [[nodiscard]] double sat_count(const bdd& f, std::uint32_t nvars);
+    /// Evaluate under a full assignment indexed by variable id.
+    [[nodiscard]] bool eval(const bdd& f, const std::vector<bool>& assignment);
+    /// One satisfying cube (literals over the support of f); f must be != 0.
+    [[nodiscard]] bdd pick_cube(const bdd& f);
+    /// Enumerate all satisfying cubes of f over the listed variables; the
+    /// callback receives value 0/1/2 (2 = don't care) per listed variable.
+    void foreach_cube(const bdd& f, const std::vector<std::uint32_t>& vars,
+                      const std::function<void(const std::vector<int>&)>& fn);
+
+    /// Build the positive cube of a set of variables.
+    [[nodiscard]] bdd cube(const std::vector<std::uint32_t>& vars);
+
+    // ---- dynamic reordering ------------------------------------------------
+    // Reordering rewrites nodes in place (indices keep denoting the same
+    // function), so every live `bdd` handle stays valid.  The solver pins the
+    // (u,v) block at the top of its orders and therefore never calls these;
+    // they are offered for the substrate benchmarks and for standalone use of
+    // the package.  The computed cache survives: node indices keep their
+    // denotation, and dead nodes are only reclaimed by the final collection,
+    // which clears the cache.
+
+    /// One full sifting pass (Rudell): each variable, in decreasing order of
+    /// node count, is moved through all levels by adjacent swaps and left at
+    /// the position minimizing the live node count.  A direction is abandoned
+    /// when the graph grows past `max_growth` times the best size seen.
+    /// Returns the live node count after the pass.
+    std::size_t reorder_sift(double max_growth = 1.2);
+
+    /// Sift a single variable to its locally optimal level.
+    /// Returns the live node count after.
+    std::size_t sift_one(std::uint32_t var, double max_growth = 1.2);
+
+    /// Reorder the live graph to the exact given order (order[k] = variable
+    /// id at level k) by adjacent swaps.  Unlike set_var_order this may be
+    /// called with live BDDs.
+    void reorder_to(const std::vector<std::uint32_t>& order);
+
+    /// Sifting over variable *groups*: each group's variables are first
+    /// gathered into an adjacent block (preserving the listed intra-group
+    /// order) and then whole blocks are sifted as units.  The natural use
+    /// here is keeping cs/ns latch pairs interleaved while searching for a
+    /// good latch order.  `groups` must partition all variables (use
+    /// singleton groups for ungrouped variables).  Returns the live node
+    /// count after the pass.
+    std::size_t reorder_sift_groups(
+        const std::vector<std::vector<std::uint32_t>>& groups,
+        double max_growth = 1.2);
+
+    /// Exhaustive structural check of the unique table and ordering
+    /// invariants (children below parents, no lo==hi nodes, no duplicate
+    /// (var,lo,hi) keys).  Throws std::logic_error on violation; for tests.
+    void check_consistency() const;
+
+    // ---- maintenance -----------------------------------------------------
+    /// Run mark-and-sweep garbage collection now.
+    void collect_garbage();
+    [[nodiscard]] const bdd_stats& stats() const { return stats_; }
+    [[nodiscard]] std::size_t live_node_count();
+
+    /// Render f as a sum-of-cubes string over the given variable names
+    /// (diagnostics; exponential in the worst case).
+    [[nodiscard]] std::string to_string(const bdd& f,
+                                        const std::vector<std::string>& names);
+
+private:
+    friend class bdd;
+
+    struct node {
+        std::uint32_t var;  ///< variable id; var_nil for constants
+        std::uint32_t lo;   ///< else-child (var = 0)
+        std::uint32_t hi;   ///< then-child (var = 1)
+        std::uint32_t next; ///< unique-table chain
+    };
+    static constexpr std::uint32_t var_nil = 0xffffffffu;
+    static constexpr std::uint32_t idx_nil = 0xffffffffu;
+
+    enum class op : std::uint8_t {
+        and_op, or_op, xor_op, not_op, ite_op, exists_op, forall_op,
+        and_exists_op, support_op, cofactor_op, constrain_op, restrict_op
+    };
+
+    struct cache_entry {
+        std::uint32_t f = idx_nil;
+        std::uint32_t g = idx_nil;
+        std::uint32_t h = idx_nil;
+        std::uint32_t result = idx_nil;
+        std::uint8_t o = 0xff;
+    };
+
+    // node access helpers
+    [[nodiscard]] std::uint32_t level(std::uint32_t idx) const {
+        const node& n = nodes_[idx];
+        return n.var == var_nil ? var_nil : var2level_[n.var];
+    }
+    [[nodiscard]] bool is_terminal(std::uint32_t idx) const { return idx <= 1; }
+
+    /// Shared hash for the unique table and the computed cache.
+    static std::uint64_t node_hash(std::uint64_t a, std::uint64_t b,
+                                   std::uint64_t c) {
+        std::uint64_t h = a * 0x9e3779b97f4a7c15ull;
+        h ^= b + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+        h ^= c + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+        return h;
+    }
+
+    std::uint32_t mk(std::uint32_t var, std::uint32_t lo, std::uint32_t hi);
+    std::uint32_t alloc_node();
+    void unique_insert(std::uint32_t idx);
+    void unique_remove(std::uint32_t idx);
+    void rehash(std::size_t new_size);
+    void maybe_gc_or_grow();
+
+    // reordering internals (bdd_reorder.cpp); rc_ / var_nodes_ are only
+    // populated between reorder_begin and reorder_end
+    void reorder_begin();
+    void reorder_end();
+    void rc_incref(std::uint32_t idx);
+    void rc_deref(std::uint32_t idx);
+    std::uint32_t reorder_mk(std::uint32_t var, std::uint32_t lo,
+                             std::uint32_t hi);
+    std::size_t swap_levels(std::uint32_t level);
+    void sift_core(std::uint32_t var, double max_growth);
+    [[nodiscard]] std::size_t var_node_count(std::uint32_t var) const;
+
+    // external reference counting used as GC roots
+    void inc_ext_ref(std::uint32_t idx);
+    void dec_ext_ref(std::uint32_t idx);
+
+    // computed cache
+    bool cache_lookup(op o, std::uint32_t f, std::uint32_t g, std::uint32_t h,
+                      std::uint32_t& result);
+    void cache_store(op o, std::uint32_t f, std::uint32_t g, std::uint32_t h,
+                     std::uint32_t result);
+    void cache_clear();
+
+    // recursive cores (raw indices; protected from GC because GC only runs
+    // between public operations)
+    std::uint32_t and_rec(std::uint32_t f, std::uint32_t g);
+    std::uint32_t or_rec(std::uint32_t f, std::uint32_t g);
+    std::uint32_t xor_rec(std::uint32_t f, std::uint32_t g);
+    std::uint32_t not_rec(std::uint32_t f);
+    std::uint32_t ite_rec(std::uint32_t f, std::uint32_t g, std::uint32_t h);
+    std::uint32_t exists_rec(std::uint32_t f, std::uint32_t cube);
+    std::uint32_t forall_rec(std::uint32_t f, std::uint32_t cube);
+    std::uint32_t and_exists_rec(std::uint32_t f, std::uint32_t g,
+                                 std::uint32_t cube);
+    std::uint32_t support_rec(std::uint32_t f);
+    std::uint32_t constrain_rec(std::uint32_t f, std::uint32_t c);
+    std::uint32_t restrict_rec(std::uint32_t f, std::uint32_t c);
+    std::uint32_t permute_rec(std::uint32_t f,
+                              const std::vector<std::uint32_t>& perm,
+                              std::vector<std::uint32_t>& memo);
+    std::uint32_t compose_rec(std::uint32_t f, std::uint32_t v,
+                              std::uint32_t g,
+                              std::vector<std::uint32_t>& memo);
+    std::uint32_t compose_vec_rec(std::uint32_t f,
+                                  const std::vector<std::uint32_t>& sub,
+                                  std::uint32_t deepest_level,
+                                  std::vector<std::uint32_t>& memo);
+
+    [[nodiscard]] bdd make(std::uint32_t idx) { return bdd(this, idx); }
+
+    // data
+    std::vector<node> nodes_;
+    std::vector<std::uint32_t> ext_ref_;   ///< external refs per node
+    std::vector<std::uint32_t> free_list_;
+    std::vector<std::uint32_t> buckets_;   ///< unique table (power of two)
+    std::vector<cache_entry> cache_;
+    std::uint64_t cache_mask_ = 0;
+    std::vector<std::uint32_t> var2level_;
+    std::vector<std::uint32_t> level2var_;
+    std::size_t gc_threshold_ = 1u << 14;
+    bdd_stats stats_;
+    std::vector<char> mark_; ///< scratch for GC / traversals
+
+    // live only during a reordering call
+    std::vector<std::uint32_t> rc_;                    ///< internal ref counts
+    std::vector<std::vector<std::uint32_t>> var_nodes_;///< nodes per variable
+    std::size_t alive_ = 0;                            ///< rc_-tracked live count
+};
+
+} // namespace leq

@@ -1,0 +1,173 @@
+/// \file bdd_ops.cpp
+/// \brief Boolean connectives: AND, OR, XOR, NOT and the general ITE.
+///
+/// Each operation is a standard Shannon-expansion recursion memoized in the
+/// manager's computed cache.  Public entry points run GC housekeeping first;
+/// recursive cores never trigger GC, so intermediate results (reachable only
+/// from the C++ call stack) are safe.
+
+#include "bdd/bdd.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace leq {
+
+namespace {
+/// Order commutative operands canonically to double the cache hit rate.
+inline void canonize(std::uint32_t& f, std::uint32_t& g) {
+    if (f > g) { std::swap(f, g); }
+}
+} // namespace
+
+// ---------------------------------------------------------------------------
+// public entry points
+// ---------------------------------------------------------------------------
+
+bdd bdd_manager::apply_and(const bdd& f, const bdd& g) {
+    assert(f.manager() == this && g.manager() == this);
+    maybe_gc_or_grow();
+    return make(and_rec(f.index(), g.index()));
+}
+
+bdd bdd_manager::apply_or(const bdd& f, const bdd& g) {
+    assert(f.manager() == this && g.manager() == this);
+    maybe_gc_or_grow();
+    return make(or_rec(f.index(), g.index()));
+}
+
+bdd bdd_manager::apply_xor(const bdd& f, const bdd& g) {
+    assert(f.manager() == this && g.manager() == this);
+    maybe_gc_or_grow();
+    return make(xor_rec(f.index(), g.index()));
+}
+
+bdd bdd_manager::apply_not(const bdd& f) {
+    assert(f.manager() == this);
+    maybe_gc_or_grow();
+    return make(not_rec(f.index()));
+}
+
+bdd bdd_manager::ite(const bdd& f, const bdd& g, const bdd& h) {
+    assert(f.manager() == this && g.manager() == this && h.manager() == this);
+    maybe_gc_or_grow();
+    return make(ite_rec(f.index(), g.index(), h.index()));
+}
+
+// ---------------------------------------------------------------------------
+// recursive cores
+// ---------------------------------------------------------------------------
+
+std::uint32_t bdd_manager::and_rec(std::uint32_t f, std::uint32_t g) {
+    if (f == 0 || g == 0) { return 0; }
+    if (f == 1) { return g; }
+    if (g == 1 || f == g) { return f; }
+    canonize(f, g);
+    std::uint32_t result = 0;
+    if (cache_lookup(op::and_op, f, g, 0, result)) { return result; }
+    const node nf = nodes_[f];
+    const node ng = nodes_[g];
+    const std::uint32_t lf = var2level_[nf.var];
+    const std::uint32_t lg = var2level_[ng.var];
+    std::uint32_t top_var = 0, f0 = 0, f1 = 0, g0 = 0, g1 = 0;
+    if (lf <= lg) { top_var = nf.var; f0 = nf.lo; f1 = nf.hi; } else { f0 = f1 = f; }
+    if (lg <= lf) { top_var = ng.var; g0 = ng.lo; g1 = ng.hi; } else { g0 = g1 = g; }
+    const std::uint32_t r0 = and_rec(f0, g0);
+    const std::uint32_t r1 = and_rec(f1, g1);
+    result = mk(top_var, r0, r1);
+    cache_store(op::and_op, f, g, 0, result);
+    return result;
+}
+
+std::uint32_t bdd_manager::or_rec(std::uint32_t f, std::uint32_t g) {
+    if (f == 1 || g == 1) { return 1; }
+    if (f == 0) { return g; }
+    if (g == 0 || f == g) { return f; }
+    canonize(f, g);
+    std::uint32_t result = 0;
+    if (cache_lookup(op::or_op, f, g, 0, result)) { return result; }
+    const node nf = nodes_[f];
+    const node ng = nodes_[g];
+    const std::uint32_t lf = var2level_[nf.var];
+    const std::uint32_t lg = var2level_[ng.var];
+    std::uint32_t top_var = 0, f0 = 0, f1 = 0, g0 = 0, g1 = 0;
+    if (lf <= lg) { top_var = nf.var; f0 = nf.lo; f1 = nf.hi; } else { f0 = f1 = f; }
+    if (lg <= lf) { top_var = ng.var; g0 = ng.lo; g1 = ng.hi; } else { g0 = g1 = g; }
+    const std::uint32_t r0 = or_rec(f0, g0);
+    const std::uint32_t r1 = or_rec(f1, g1);
+    result = mk(top_var, r0, r1);
+    cache_store(op::or_op, f, g, 0, result);
+    return result;
+}
+
+std::uint32_t bdd_manager::xor_rec(std::uint32_t f, std::uint32_t g) {
+    if (f == g) { return 0; }
+    if (f == 0) { return g; }
+    if (g == 0) { return f; }
+    if (f == 1) { return not_rec(g); }
+    if (g == 1) { return not_rec(f); }
+    canonize(f, g);
+    std::uint32_t result = 0;
+    if (cache_lookup(op::xor_op, f, g, 0, result)) { return result; }
+    const node nf = nodes_[f];
+    const node ng = nodes_[g];
+    const std::uint32_t lf = var2level_[nf.var];
+    const std::uint32_t lg = var2level_[ng.var];
+    std::uint32_t top_var = 0, f0 = 0, f1 = 0, g0 = 0, g1 = 0;
+    if (lf <= lg) { top_var = nf.var; f0 = nf.lo; f1 = nf.hi; } else { f0 = f1 = f; }
+    if (lg <= lf) { top_var = ng.var; g0 = ng.lo; g1 = ng.hi; } else { g0 = g1 = g; }
+    const std::uint32_t r0 = xor_rec(f0, g0);
+    const std::uint32_t r1 = xor_rec(f1, g1);
+    result = mk(top_var, r0, r1);
+    cache_store(op::xor_op, f, g, 0, result);
+    return result;
+}
+
+std::uint32_t bdd_manager::not_rec(std::uint32_t f) {
+    if (f == 0) { return 1; }
+    if (f == 1) { return 0; }
+    std::uint32_t result = 0;
+    if (cache_lookup(op::not_op, f, 0, 0, result)) { return result; }
+    const node nf = nodes_[f];
+    result = mk(nf.var, not_rec(nf.lo), not_rec(nf.hi));
+    cache_store(op::not_op, f, 0, 0, result);
+    return result;
+}
+
+std::uint32_t bdd_manager::ite_rec(std::uint32_t f, std::uint32_t g,
+                                   std::uint32_t h) {
+    // terminal cases
+    if (f == 1) { return g; }
+    if (f == 0) { return h; }
+    if (g == h) { return g; }
+    if (g == 1 && h == 0) { return f; }
+    if (g == 0 && h == 1) { return not_rec(f); }
+    if (g == 1) { return or_rec(f, h); }
+    if (h == 0) { return and_rec(f, g); }
+    if (g == 0) { return and_rec(not_rec(f), h); }
+    if (h == 1) { return or_rec(not_rec(f), g); }
+    if (f == g) { return or_rec(f, h); }   // ite(f,f,h) = f | h
+    if (f == h) { return and_rec(f, g); }  // ite(f,g,f) = f & g
+    std::uint32_t result = 0;
+    if (cache_lookup(op::ite_op, f, g, h, result)) { return result; }
+    const node nf = nodes_[f];
+    const node ng = nodes_[g];
+    const node nh = nodes_[h];
+    std::uint32_t top_level = var2level_[nf.var];
+    if (g > 1) { top_level = std::min(top_level, var2level_[ng.var]); }
+    if (h > 1) { top_level = std::min(top_level, var2level_[nh.var]); }
+    const std::uint32_t top_var = level2var_[top_level];
+    const auto cof = [&](std::uint32_t x, const node& nx, bool hi) {
+        if (x <= 1 || nx.var != top_var) { return x; }
+        return hi ? nx.hi : nx.lo;
+    };
+    const std::uint32_t r0 =
+        ite_rec(cof(f, nf, false), cof(g, ng, false), cof(h, nh, false));
+    const std::uint32_t r1 =
+        ite_rec(cof(f, nf, true), cof(g, ng, true), cof(h, nh, true));
+    result = mk(top_var, r0, r1);
+    cache_store(op::ite_op, f, g, h, result);
+    return result;
+}
+
+} // namespace leq

@@ -1,0 +1,226 @@
+/// \file bdd_subst.cpp
+/// \brief Variable renaming (permute), functional composition and cofactors.
+
+#include "bdd/bdd.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace leq {
+
+bdd bdd_manager::permute(const bdd& f, const std::vector<std::uint32_t>& perm) {
+    assert(f.manager() == this);
+    maybe_gc_or_grow();
+    std::vector<std::uint32_t> memo(nodes_.size(), idx_nil);
+    return make(permute_rec(f.index(), perm, memo));
+}
+
+std::uint32_t bdd_manager::permute_rec(std::uint32_t f,
+                                       const std::vector<std::uint32_t>& perm,
+                                       std::vector<std::uint32_t>& memo) {
+    if (f <= 1) { return f; }
+    if (f < memo.size() && memo[f] != idx_nil) { return memo[f]; }
+    const node nf = nodes_[f];
+    const std::uint32_t r0 = permute_rec(nf.lo, perm, memo);
+    const std::uint32_t r1 = permute_rec(nf.hi, perm, memo);
+    assert(nf.var < perm.size());
+    const std::uint32_t new_var = perm[nf.var];
+    // the renamed variable may land anywhere in the order, so rebuild with a
+    // full ITE rather than a bottom-up mk
+    const std::uint32_t result = ite_rec(mk(new_var, 0, 1), r1, r0);
+    if (f < memo.size()) { memo[f] = result; }
+    return result;
+}
+
+bdd bdd_manager::compose(const bdd& f, std::uint32_t v, const bdd& g) {
+    assert(f.manager() == this && g.manager() == this);
+    maybe_gc_or_grow();
+    std::vector<std::uint32_t> memo(nodes_.size(), idx_nil);
+    return make(compose_rec(f.index(), v, g.index(), memo));
+}
+
+std::uint32_t bdd_manager::compose_rec(std::uint32_t f, std::uint32_t v,
+                                       std::uint32_t g,
+                                       std::vector<std::uint32_t>& memo) {
+    if (f <= 1) { return f; }
+    const node nf = nodes_[f];
+    // below the level of v the variable cannot occur
+    if (var2level_[nf.var] > var2level_[v]) { return f; }
+    if (f < memo.size() && memo[f] != idx_nil) { return memo[f]; }
+    std::uint32_t result = 0;
+    if (nf.var == v) {
+        result = ite_rec(g, nf.hi, nf.lo);
+    } else {
+        const std::uint32_t r0 = compose_rec(nf.lo, v, g, memo);
+        const std::uint32_t r1 = compose_rec(nf.hi, v, g, memo);
+        result = ite_rec(mk(nf.var, 0, 1), r1, r0);
+    }
+    if (f < memo.size()) { memo[f] = result; }
+    return result;
+}
+
+bdd bdd_manager::compose_vector(
+    const bdd& f,
+    const std::vector<std::pair<std::uint32_t, bdd>>& substitutions) {
+    assert(f.manager() == this);
+    maybe_gc_or_grow();
+    std::vector<std::uint32_t> sub(num_vars(), idx_nil);
+    std::uint32_t deepest = 0;
+    for (const auto& [v, g] : substitutions) {
+        assert(g.manager() == this);
+        assert(v < num_vars());
+        sub[v] = g.index();
+        deepest = std::max(deepest, var2level_[v]);
+    }
+    std::vector<std::uint32_t> memo(nodes_.size(), idx_nil);
+    return make(compose_vec_rec(f.index(), sub, deepest, memo));
+}
+
+std::uint32_t bdd_manager::compose_vec_rec(
+    std::uint32_t f, const std::vector<std::uint32_t>& sub,
+    std::uint32_t deepest_level, std::vector<std::uint32_t>& memo) {
+    if (f <= 1) { return f; }
+    const node nf = nodes_[f];
+    // no substituted variable can occur below the deepest one
+    if (var2level_[nf.var] > deepest_level) { return f; }
+    if (f < memo.size() && memo[f] != idx_nil) { return memo[f]; }
+    const std::uint32_t r0 = compose_vec_rec(nf.lo, sub, deepest_level, memo);
+    const std::uint32_t r1 = compose_vec_rec(nf.hi, sub, deepest_level, memo);
+    const std::uint32_t g =
+        sub[nf.var] != idx_nil ? sub[nf.var] : mk(nf.var, 0, 1);
+    const std::uint32_t result = ite_rec(g, r1, r0);
+    if (f < memo.size()) { memo[f] = result; }
+    return result;
+}
+
+bdd bdd_manager::cofactor(const bdd& f, const bdd& cube) {
+    assert(f.manager() == this && cube.manager() == this);
+    maybe_gc_or_grow();
+    // iterative over the cube: restrict one literal at a time via the cache
+    std::uint32_t r = f.index();
+    std::uint32_t c = cube.index();
+    assert(c != 0 && "cofactor by the empty cube is undefined");
+    // generalized cofactor by a cube: walk f, branching as the cube dictates
+    struct restrictor {
+        bdd_manager* m;
+        std::uint32_t run(std::uint32_t f, std::uint32_t c) {
+            if (f <= 1 || c == 1) { return f; }
+            std::uint32_t result = 0;
+            if (m->cache_lookup(op::cofactor_op, f, c, 0, result)) {
+                return result;
+            }
+            const node nf = m->nodes_[f];
+            const node nc = m->nodes_[c];
+            const std::uint32_t lf = m->var2level_[nf.var];
+            const std::uint32_t lc = m->var2level_[nc.var];
+            if (lc < lf) {
+                // cube literal above f: skip it
+                result = run(f, nc.lo == 0 ? nc.hi : nc.lo);
+            } else if (lc == lf) {
+                // take the branch selected by the literal's phase
+                result = nc.lo == 0 ? run(nf.hi, nc.hi) : run(nf.lo, nc.lo);
+            } else {
+                const std::uint32_t r0 = run(nf.lo, c);
+                const std::uint32_t r1 = run(nf.hi, c);
+                result = m->mk(nf.var, r0, r1);
+            }
+            m->cache_store(op::cofactor_op, f, c, 0, result);
+            return result;
+        }
+    };
+    return make(restrictor{this}.run(r, c));
+}
+
+} // namespace leq
+
+
+namespace leq {
+
+bdd bdd_manager::constrain(const bdd& f, const bdd& c) {
+    assert(f.manager() == this && c.manager() == this);
+    assert(!c.is_zero() && "constrain: empty care set");
+    maybe_gc_or_grow();
+    return make(constrain_rec(f.index(), c.index()));
+}
+
+std::uint32_t bdd_manager::constrain_rec(std::uint32_t f, std::uint32_t c) {
+    if (c == 1 || f <= 1) { return f; }
+    if (c == f) { return 1; }
+    std::uint32_t result = 0;
+    if (cache_lookup(op::constrain_op, f, c, 0, result)) { return result; }
+    const node nc = nodes_[c];
+    const node nf = nodes_[f];
+    const std::uint32_t lc = var2level_[nc.var];
+    const std::uint32_t lf = var2level_[nf.var];
+    if (lc < lf) {
+        // f independent of c's top variable
+        if (nc.lo == 0) {
+            result = constrain_rec(f, nc.hi);
+        } else if (nc.hi == 0) {
+            result = constrain_rec(f, nc.lo);
+        } else {
+            const std::uint32_t r0 = constrain_rec(f, nc.lo);
+            const std::uint32_t r1 = constrain_rec(f, nc.hi);
+            result = mk(nc.var, r0, r1);
+        }
+    } else {
+        const std::uint32_t f0 = lf <= lc ? nf.lo : f;
+        const std::uint32_t f1 = lf <= lc ? nf.hi : f;
+        const std::uint32_t c0 = lc <= lf ? nc.lo : c;
+        const std::uint32_t c1 = lc <= lf ? nc.hi : c;
+        if (c0 == 0) {
+            result = constrain_rec(f1, c1);
+        } else if (c1 == 0) {
+            result = constrain_rec(f0, c0);
+        } else {
+            const std::uint32_t top =
+                lf <= lc ? nf.var : nc.var;
+            const std::uint32_t r0 = constrain_rec(f0, c0);
+            const std::uint32_t r1 = constrain_rec(f1, c1);
+            result = mk(top, r0, r1);
+        }
+    }
+    cache_store(op::constrain_op, f, c, 0, result);
+    return result;
+}
+
+bdd bdd_manager::restrict_dc(const bdd& f, const bdd& c) {
+    assert(f.manager() == this && c.manager() == this);
+    assert(!c.is_zero() && "restrict: empty care set");
+    maybe_gc_or_grow();
+    return make(restrict_rec(f.index(), c.index()));
+}
+
+std::uint32_t bdd_manager::restrict_rec(std::uint32_t f, std::uint32_t c) {
+    if (c == 1 || f <= 1) { return f; }
+    if (c == f) { return 1; }
+    std::uint32_t result = 0;
+    if (cache_lookup(op::restrict_op, f, c, 0, result)) { return result; }
+    const node nc = nodes_[c];
+    const node nf = nodes_[f];
+    const std::uint32_t lc = var2level_[nc.var];
+    const std::uint32_t lf = var2level_[nf.var];
+    if (lc < lf) {
+        // f does not depend on c's top variable: drop it from the care set
+        // (this is the difference from constrain)
+        result = restrict_rec(f, or_rec(nc.lo, nc.hi));
+    } else {
+        const std::uint32_t f0 = nf.lo;
+        const std::uint32_t f1 = nf.hi;
+        const std::uint32_t c0 = lc == lf ? nc.lo : c;
+        const std::uint32_t c1 = lc == lf ? nc.hi : c;
+        if (c0 == 0) {
+            result = restrict_rec(f1, c1);
+        } else if (c1 == 0) {
+            result = restrict_rec(f0, c0);
+        } else {
+            const std::uint32_t r0 = restrict_rec(f0, c0);
+            const std::uint32_t r1 = restrict_rec(f1, c1);
+            result = mk(nf.var, r0, r1);
+        }
+    }
+    cache_store(op::restrict_op, f, c, 0, result);
+    return result;
+}
+
+} // namespace leq

@@ -1,0 +1,68 @@
+/// \file extract.cpp
+/// \brief Greedy FSM extraction from a CSF.
+
+#include "eq/extract.hpp"
+
+#include <map>
+#include <queue>
+#include <stdexcept>
+
+namespace leq {
+
+automaton extract_fsm(const automaton& csf,
+                      const std::vector<std::uint32_t>& u_vars,
+                      const std::vector<std::uint32_t>& v_vars) {
+    bdd_manager& mgr = csf.manager();
+    if (u_vars.size() > 20) {
+        throw std::invalid_argument("extract_fsm: too many inputs");
+    }
+    if (!csf.accepting(csf.initial())) {
+        throw std::invalid_argument("extract_fsm: empty CSF");
+    }
+    automaton fsm(mgr, csf.label_vars());
+    std::map<std::uint32_t, std::uint32_t> ids; // csf state -> fsm state
+    std::queue<std::uint32_t> work;
+    const auto intern = [&](std::uint32_t q) {
+        const auto it = ids.find(q);
+        if (it != ids.end()) { return it->second; }
+        const std::uint32_t id = fsm.add_state(true);
+        ids.emplace(q, id);
+        work.push(q);
+        return id;
+    };
+    fsm.set_initial(intern(csf.initial()));
+    while (!work.empty()) {
+        const std::uint32_t q = work.front();
+        work.pop();
+        const std::uint32_t src = ids.at(q);
+        for (std::size_t m = 0; m < (std::size_t{1} << u_vars.size()); ++m) {
+            bdd u_cube = mgr.one();
+            for (std::size_t b = 0; b < u_vars.size(); ++b) {
+                u_cube &= mgr.literal(u_vars[b], ((m >> b) & 1) != 0);
+            }
+            // first edge admitting this input wins; commit to one v choice
+            bool placed = false;
+            for (const transition& t : csf.transitions(q)) {
+                const bdd enabled = t.label & u_cube;
+                if (enabled.is_zero()) { continue; }
+                // pick one (u,v) minterm's v part: a full cube over u,v
+                bdd choice = mgr.pick_cube(enabled);
+                // the cube may leave some v free; pin the rest to 0
+                for (const std::uint32_t v : v_vars) {
+                    const bdd pinned = choice & mgr.nvar(v);
+                    if (!pinned.is_zero()) { choice = pinned; }
+                }
+                fsm.add_transition(src, intern(t.dest), choice);
+                placed = true;
+                break;
+            }
+            if (!placed) {
+                throw std::logic_error(
+                    "extract_fsm: CSF is not input-progressive");
+            }
+        }
+    }
+    return fsm;
+}
+
+} // namespace leq

@@ -1,0 +1,26 @@
+/// \file extract.hpp
+/// \brief Extract a concrete FSM implementation from a CSF.
+///
+/// The paper computes the Complete Sequential Flexibility and notes that
+/// choosing an optimum sub-solution is future work.  This module provides
+/// the baseline extractor a downstream synthesis flow needs: a greedy
+/// deterministic selection that, in every state and for every input u,
+/// commits to one output v allowed by the CSF.  The result is a Mealy FSM
+/// (deterministic, input-progressive, contained in the CSF by
+/// construction).
+#pragma once
+
+#include "automata/automaton.hpp"
+
+#include <vector>
+
+namespace leq {
+
+/// Greedy implementation choice.  `csf` must be a CSF automaton over
+/// u_vars and v_vars (as produced by the solvers) with non-empty language.
+/// Exponential in |u| (iterates input minterms); intended for moderate |u|.
+[[nodiscard]] automaton
+extract_fsm(const automaton& csf, const std::vector<std::uint32_t>& u_vars,
+            const std::vector<std::uint32_t>& v_vars);
+
+} // namespace leq

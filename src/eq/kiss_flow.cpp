@@ -1,0 +1,82 @@
+/// \file kiss_flow.cpp
+/// \brief KISS2 front end: parse, encode, build the equation instance.
+
+#include "eq/kiss_flow.hpp"
+
+#include "automata/encode.hpp"
+#include "automata/kiss.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace leq {
+
+namespace {
+
+std::vector<std::string> port_names(const char* stem, std::size_t count,
+                                    std::size_t from = 0) {
+    std::vector<std::string> names;
+    names.reserve(count);
+    for (std::size_t k = 0; k < count; ++k) {
+        names.push_back(stem + std::to_string(from + k));
+    }
+    return names;
+}
+
+/// Parse one KISS machine and encode it as a network with the given port
+/// names.  A scratch manager hosts the parse; the network carries over.
+network encode_kiss(const std::string& text,
+                    const std::vector<std::string>& input_names,
+                    const std::vector<std::string>& output_names,
+                    const std::string& model_name) {
+    bdd_manager mgr;
+    std::vector<std::uint32_t> in_vars, out_vars;
+    for (std::size_t k = 0; k < input_names.size(); ++k) {
+        in_vars.push_back(mgr.new_var());
+    }
+    for (std::size_t k = 0; k < output_names.size(); ++k) {
+        out_vars.push_back(mgr.new_var());
+    }
+    const automaton fsm = read_kiss_string(text, mgr, in_vars, out_vars);
+    return automaton_to_network(fsm, in_vars, out_vars, input_names,
+                                output_names, model_name);
+}
+
+} // namespace
+
+kiss_instance build_kiss_instance(const std::string& f_kiss,
+                                  const std::string& s_kiss) {
+    const kiss_header fh = read_kiss_header(f_kiss);
+    const kiss_header sh = read_kiss_header(s_kiss);
+    if (fh.num_inputs < sh.num_inputs || fh.num_outputs < sh.num_outputs) {
+        throw std::invalid_argument(
+            "build_kiss_instance: F must carry S's inputs/outputs plus v/u");
+    }
+    const std::size_t num_v = fh.num_inputs - sh.num_inputs;
+    const std::size_t num_u = fh.num_outputs - sh.num_outputs;
+
+    // shared names first, then the internal v/u wires
+    std::vector<std::string> f_inputs = port_names("i", sh.num_inputs);
+    const auto v_names = port_names("xv", num_v);
+    f_inputs.insert(f_inputs.end(), v_names.begin(), v_names.end());
+    std::vector<std::string> f_outputs = port_names("z", sh.num_outputs);
+    const auto u_names = port_names("xu", num_u);
+    f_outputs.insert(f_outputs.end(), u_names.begin(), u_names.end());
+
+    kiss_instance inst;
+    inst.fixed = encode_kiss(f_kiss, f_inputs, f_outputs, "kiss_f");
+    inst.spec = encode_kiss(s_kiss, port_names("i", sh.num_inputs),
+                            port_names("z", sh.num_outputs), "kiss_s");
+    inst.problem =
+        std::make_unique<equation_problem>(inst.fixed, inst.spec);
+    return inst;
+}
+
+kiss_solution solve_kiss(const std::string& f_kiss, const std::string& s_kiss,
+                         const solve_options& options) {
+    kiss_solution sol{build_kiss_instance(f_kiss, s_kiss), {}};
+    sol.result = solve_partitioned(*sol.instance.problem, options);
+    return sol;
+}
+
+} // namespace leq

@@ -1,0 +1,49 @@
+/// \file kiss_flow.hpp
+/// \brief FSM-level equation solving from KISS2 inputs, BALM style.
+///
+/// The paper's implementation lived in MVSIS next to BALM, whose primary
+/// exchange format for FSMs was KISS2.  This module accepts the fixed
+/// component F and the specification S as KISS2 text, encodes both into
+/// multi-level networks (binary state encoding), and hands them to the
+/// partitioned solver — so FSM-level problems ride the same machinery as
+/// netlist-level ones, partitioned representation included.
+///
+/// Interface convention (Figure 1): S has inputs i and outputs o; F's input
+/// cube is (i..., v...) and its output cube is (o..., u...), widths
+/// inferred from the two headers.  Both machines must be deterministic
+/// Mealy FSMs (every input cube enables exactly one transition).
+#pragma once
+
+#include "eq/problem.hpp"
+#include "eq/solver.hpp"
+#include "net/network.hpp"
+
+#include <memory>
+#include <string>
+
+namespace leq {
+
+/// A built FSM-level instance.  The problem owns the BDD manager the
+/// solver result's automaton will live in; keep it alive.
+struct kiss_instance {
+    network fixed;  ///< F encoded as a network, ports (i...,v...)/(o...,u...)
+    network spec;   ///< S encoded as a network, ports (i...)/(o...)
+    std::unique_ptr<equation_problem> problem;
+};
+
+/// Encode F and S from KISS2 text and build the equation instance.
+/// Throws std::runtime_error on malformed KISS and std::invalid_argument
+/// when F's interface cannot embed S's (fewer inputs/outputs).
+[[nodiscard]] kiss_instance build_kiss_instance(const std::string& f_kiss,
+                                                const std::string& s_kiss);
+
+/// Convenience: build + solve with the partitioned flow.
+struct kiss_solution {
+    kiss_instance instance;
+    solve_result result;
+};
+[[nodiscard]] kiss_solution solve_kiss(const std::string& f_kiss,
+                                       const std::string& s_kiss,
+                                       const solve_options& options = {});
+
+} // namespace leq

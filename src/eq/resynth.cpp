@@ -1,0 +1,83 @@
+/// \file resynth.cpp
+/// \brief The end-to-end resynthesis pipeline.
+
+#include "eq/resynth.hpp"
+
+#include "automata/encode.hpp"
+#include "eq/subsolution.hpp"
+#include "eq/verify.hpp"
+#include "net/compose.hpp"
+#include "net/latch_split.hpp"
+#include "net/sweep.hpp"
+
+#include <random>
+
+namespace leq {
+
+bool simulation_equivalent(const network& a, const network& b,
+                           std::size_t runs, std::size_t cycles,
+                           std::uint32_t seed) {
+    if (a.num_inputs() != b.num_inputs() ||
+        a.num_outputs() != b.num_outputs()) {
+        return false;
+    }
+    std::mt19937 rng(seed);
+    for (std::size_t run = 0; run < runs; ++run) {
+        std::vector<bool> sa = a.initial_state();
+        std::vector<bool> sb = b.initial_state();
+        for (std::size_t t = 0; t < cycles; ++t) {
+            std::vector<bool> in(a.num_inputs());
+            for (std::size_t k = 0; k < in.size(); ++k) {
+                in[k] = (rng() & 1u) != 0;
+            }
+            const auto ra = a.simulate(sa, in);
+            const auto rb = b.simulate(sb, in);
+            if (ra.outputs != rb.outputs) { return false; }
+            sa = ra.next_state;
+            sb = rb.next_state;
+        }
+    }
+    return true;
+}
+
+resynth_result resynthesize(const network& original,
+                            const std::vector<std::size_t>& cut,
+                            const resynth_options& options) {
+    resynth_result out;
+    const split_result split = split_latches(original, cut);
+    out.x_latches_before = split.part.num_latches();
+
+    const equation_problem problem(split.fixed, original);
+    const solve_result solved = solve_partitioned(problem, options.solve);
+    if (solved.status != solve_status::ok || solved.empty_solution) {
+        return out; // X_P makes the CSF non-empty, so only resource limits land here
+    }
+    out.solved = true;
+    out.csf_states = solved.csf_states;
+
+    std::optional<automaton> moore =
+        extract_moore_fsm(*solved.csf, problem.u_vars, problem.v_vars);
+    if (!moore.has_value()) { return out; }
+    if (options.minimize_states) { moore = minimize(*moore); }
+    out.x_states = moore->num_states();
+
+    out.replacement = automaton_to_network(
+        *moore, problem.u_vars, problem.v_vars, split.u_names, split.v_names,
+        original.name() + "_x");
+    out.x_latches_after = out.replacement.num_latches();
+    out.optimized = compose_networks(split.fixed, out.replacement,
+                                     split.u_names, split.v_names);
+    if (options.sweep_result) {
+        out.optimized = sweep_network(out.optimized);
+    }
+    out.optimized.set_name(original.name() + "_resynth");
+    out.rebuilt = true;
+
+    out.verified =
+        verify_composition_contained(problem, *moore) &&
+        simulation_equivalent(original, out.optimized, options.sim_runs,
+                              options.sim_cycles, options.sim_seed);
+    return out;
+}
+
+} // namespace leq

@@ -1,0 +1,63 @@
+/// \file resynth.hpp
+/// \brief The end-to-end sequential resynthesis flow the paper motivates:
+/// cut a sub-part out of a circuit, compute its complete sequential
+/// flexibility, pick a small replacement, and rebuild the circuit.
+///
+/// Pipeline: split_latches -> equation_problem -> solve_partitioned ->
+/// extract_moore_fsm (+ DFA minimization) -> automaton_to_network ->
+/// compose_networks -> verification (the paper's symbolic check (2) plus
+/// seeded simulation of original vs optimized).
+///
+/// The replacement is extracted in Moore form so the composed netlist has
+/// no combinational u -> v -> u cycle (footnote 5); when the greedy Moore
+/// extraction fails, the result reports solved-but-not-rebuilt rather than
+/// producing an uncomposable netlist.
+#pragma once
+
+#include "eq/solver.hpp"
+#include "net/network.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace leq {
+
+struct resynth_options {
+    solve_options solve;
+    /// Minimize the Moore FSM before encoding.
+    bool minimize_states = true;
+    /// Run the combinational sweep on the composed result.
+    bool sweep_result = true;
+    /// Simulation-based equivalence: runs x cycles of random stimulus.
+    std::size_t sim_runs = 8;
+    std::size_t sim_cycles = 256;
+    std::uint32_t sim_seed = 1;
+};
+
+struct resynth_result {
+    bool solved = false;          ///< CSF computed (non-empty by construction)
+    bool rebuilt = false;         ///< Moore replacement extracted and composed
+    bool verified = false;        ///< check (2) and simulation both pass
+    std::size_t csf_states = 0;
+    std::size_t x_states = 0;           ///< replacement FSM states
+    std::size_t x_latches_before = 0;   ///< latches in the cut (X_P)
+    std::size_t x_latches_after = 0;    ///< latches in the replacement
+    network replacement; ///< the encoded X (valid when rebuilt)
+    network optimized;   ///< F composed with the replacement (when rebuilt)
+};
+
+/// Resynthesize `original` around the latch cut (indices into its latch
+/// list).  Never returns an unverified `optimized` network as verified:
+/// check the flags.
+[[nodiscard]] resynth_result
+resynthesize(const network& original, const std::vector<std::size_t>& cut,
+             const resynth_options& options = {});
+
+/// Seeded random simulation equivalence (helper, also used by the tests):
+/// true when both networks produce identical output streams on every run.
+/// The networks must have identical input/output counts.
+[[nodiscard]] bool simulation_equivalent(const network& a, const network& b,
+                                         std::size_t runs, std::size_t cycles,
+                                         std::uint32_t seed);
+
+} // namespace leq

@@ -1,0 +1,72 @@
+/// \file solver.hpp
+/// \brief Language-equation solving: the paper's two flows and the explicit
+/// oracle.
+///
+/// All three entry points compute the Complete Sequential Flexibility (CSF):
+/// the largest prefix-closed, input-progressive solution X of F . X <= S,
+/// returned as an explicit deterministic automaton over the (u,v) alphabet.
+///
+///  * solve_partitioned — the paper's contribution (Section 3.2): a single
+///    modified subset construction driven by partitioned image computation;
+///    monolithic relations are never built, completion is deferred, and
+///    non-conforming transitions are trimmed to DCN on the fly.
+///  * solve_monolithic — the baseline (Section 4): build the monolithic
+///    transition-output relations, complete S eagerly, form the product,
+///    hide i/o by quantification, then determinize traditionally.
+///  * solve_explicit — Algorithm 1 executed literally on explicit automata;
+///    the cross-validation oracle for small instances.
+#pragma once
+
+#include "automata/automaton.hpp"
+#include "eq/problem.hpp"
+#include "img/image.hpp"
+
+#include <optional>
+
+namespace leq {
+
+enum class solve_status {
+    ok,          ///< CSF computed
+    timeout,     ///< gave up: time limit (reported as CNC in the benches)
+    state_limit, ///< gave up: subset-state limit
+};
+
+struct solve_options {
+    image_options img;
+    /// Wall-clock limit; 0 = unlimited.
+    double time_limit_seconds = 0.0;
+    /// Cap on explored subset states; 0 = unlimited.
+    std::size_t max_subset_states = 0;
+    /// Replace subsets containing non-accepting (DC1-type) product states by
+    /// DCN without exploring them (paper, Section 3.2).  Only meaningful for
+    /// the monolithic flow, where such subsets are representable; switching
+    /// it off is the Ablation-A baseline.
+    bool trim_nonconforming = true;
+};
+
+struct solve_result {
+    solve_status status = solve_status::ok;
+    /// The CSF over (u,v); empty optional when status != ok.
+    std::optional<automaton> csf;
+    /// True when the equation has no prefix-closed progressive solution.
+    bool empty_solution = false;
+    std::size_t subset_states_explored = 0; ///< before progressive trimming
+    std::size_t csf_states = 0;             ///< final states (incl. DCA)
+    double seconds = 0.0;
+};
+
+/// Partitioned flow (the paper's method).
+[[nodiscard]] solve_result solve_partitioned(const equation_problem& problem,
+                                             const solve_options& options = {});
+
+/// Monolithic baseline.
+[[nodiscard]] solve_result solve_monolithic(const equation_problem& problem,
+                                            const solve_options& options = {});
+
+/// Algorithm 1 on explicit automata (oracle; exponential in |i|+|o|).
+/// Uses the problem's variable ids so results are comparable.
+[[nodiscard]] solve_result solve_explicit(const equation_problem& problem,
+                                          const network& fixed,
+                                          const network& spec);
+
+} // namespace leq

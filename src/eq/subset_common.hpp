@@ -1,0 +1,68 @@
+/// \file subset_common.hpp
+/// \brief Machinery shared by the partitioned and monolithic subset
+/// constructions: (u,v)-cofactor class extraction, the worklist driver,
+/// progressive trimming and assembly of the final CSF automaton.
+#pragma once
+
+#include "automata/automaton.hpp"
+#include "bdd/bdd.hpp"
+#include "eq/solver.hpp"
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+namespace leq::detail {
+
+/// One (u,v)-cofactor class of an image P(u,v,ns): the set of (u,v)
+/// assignments (guard) that lead to the same successor state set (leaf, over
+/// the ns variables).
+struct cofactor_class {
+    bdd guard; ///< over the (u,v) block
+    bdd leaf;  ///< successor set over ns variables (never constant false)
+};
+
+/// Split P into its cofactor classes with respect to the top block of the
+/// variable order (levels < boundary).  Relies on the problem's variable
+/// order: every (u,v) variable is above `boundary`, everything else below,
+/// so the classes are exactly the distinct sub-BDDs hanging off the block
+/// and each guard is read off with one memoized traversal.
+[[nodiscard]] std::vector<cofactor_class>
+split_by_top_block(bdd_manager& mgr, const bdd& p, std::uint32_t boundary);
+
+/// Union of all guards (the domain over (u,v)) of a split.
+[[nodiscard]] bdd guard_domain(bdd_manager& mgr,
+                               const std::vector<cofactor_class>& classes);
+
+/// Result of expanding one subset state.
+struct expansion {
+    std::vector<cofactor_class> successors; ///< guard -> successor subset
+    bdd to_dca;                             ///< guard of undefined (u,v)
+};
+
+/// Generic subset-construction driver.  `expand` maps a subset state (over
+/// current-state variables) to its successor classes (leaves over
+/// next-state variables; the driver renames them back).  Returns the CSF
+/// after progressive trimming, or an early status on limits.
+struct subset_driver {
+    bdd_manager& mgr;
+    std::vector<std::uint32_t> uv_vars;    ///< u then v (label variables)
+    std::vector<std::uint32_t> u_vars;     ///< X's inputs (progressive set)
+    std::vector<std::uint32_t> ns_to_cs;   ///< permutation for leaf renaming
+    const solve_options& options;
+
+    /// \param is_bad optional classifier for DCN-type subsets (those meeting
+    ///        an accepting product state).  With the paper's trimming, such
+    ///        subsets are filtered inside `expand` and never reach the
+    ///        driver; the Ablation-A baseline instead explores them and
+    ///        passes this predicate so the prefix-close step can remove them
+    ///        afterwards.
+    [[nodiscard]] solve_result
+    run(const bdd& initial_state,
+        const std::function<expansion(const bdd&)>& expand,
+        const std::function<bool(const bdd&)>& is_bad = nullptr) const;
+};
+
+} // namespace leq::detail

@@ -1,0 +1,317 @@
+/// \file topology.cpp
+/// \brief Reductions of cascade and controller topologies to Figure-1 form.
+
+#include "eq/topology.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+#include <string>
+#include <unordered_set>
+
+namespace leq {
+
+namespace {
+
+/// All signal names of a network (used to pick collision-free fresh names).
+std::unordered_set<std::string> name_set(const network& net) {
+    std::unordered_set<std::string> names;
+    for (std::uint32_t s = 0; s < net.num_signals(); ++s) {
+        names.insert(net.signal_name(s));
+    }
+    return names;
+}
+
+std::string fresh_name(const std::unordered_set<std::string>& taken,
+                       const std::string& base) {
+    if (taken.count(base) == 0) { return base; }
+    for (std::size_t k = 0;; ++k) {
+        const std::string candidate = base + "_" + std::to_string(k);
+        if (taken.count(candidate) == 0) { return candidate; }
+    }
+}
+
+/// Cube row of a logic node rendered back to the '0'/'1'/'-' string form
+/// that network::add_node consumes.
+std::string cube_string(const sop_cube& cube) {
+    std::string row;
+    row.reserve(cube.literals.size());
+    for (const std::uint8_t lit : cube.literals) {
+        row.push_back(lit == 0 ? '0' : lit == 1 ? '1' : '-');
+    }
+    return row;
+}
+
+/// Copy every latch and logic node of `src` into `dst`, mapping signal names
+/// through `rename` (identity when a name is absent from the map).  Inputs
+/// and outputs are NOT declared — the caller owns the interface.
+void copy_body(network& dst, const network& src,
+               const std::unordered_map<std::string, std::string>& rename) {
+    const auto mapped = [&](std::uint32_t signal) {
+        const std::string& name = src.signal_name(signal);
+        const auto it = rename.find(name);
+        return it == rename.end() ? name : it->second;
+    };
+    for (const latch& l : src.latches()) {
+        dst.add_latch(mapped(l.input), mapped(l.output), l.init);
+    }
+    for (const logic_node& n : src.nodes()) {
+        std::vector<std::string> fanins;
+        fanins.reserve(n.fanins.size());
+        for (const std::uint32_t f : n.fanins) { fanins.push_back(mapped(f)); }
+        std::vector<std::string> cubes;
+        cubes.reserve(n.cubes.size());
+        for (const sop_cube& c : n.cubes) { cubes.push_back(cube_string(c)); }
+        dst.add_node(mapped(n.output), fanins, cubes, n.complemented);
+    }
+}
+
+/// Renaming that moves every non-input signal of `src` out of the way with
+/// a prefix (keeps the shared primary-input names intact).
+std::unordered_map<std::string, std::string>
+prefix_internals(const network& src, const std::string& prefix,
+                 std::unordered_set<std::string>& taken) {
+    std::unordered_map<std::string, std::string> rename;
+    std::unordered_set<std::uint32_t> input_ids(src.inputs().begin(),
+                                                src.inputs().end());
+    for (std::uint32_t s = 0; s < src.num_signals(); ++s) {
+        if (input_ids.count(s) != 0) { continue; }
+        const std::string fresh =
+            fresh_name(taken, prefix + src.signal_name(s));
+        rename.emplace(src.signal_name(s), fresh);
+        taken.insert(fresh);
+    }
+    return rename;
+}
+
+void check_port_names(const network& component, const network& spec,
+                      bool match_inputs, const char* who) {
+    if (match_inputs) {
+        if (component.num_inputs() < spec.num_inputs()) {
+            throw std::invalid_argument(std::string(who) +
+                                        ": too few inputs for the spec");
+        }
+        for (std::size_t k = 0; k < spec.num_inputs(); ++k) {
+            if (component.signal_name(component.inputs()[k]) !=
+                spec.signal_name(spec.inputs()[k])) {
+                throw std::invalid_argument(
+                    std::string(who) + ": input names must match the spec");
+            }
+        }
+    } else {
+        if (component.num_outputs() != spec.num_outputs()) {
+            throw std::invalid_argument(std::string(who) +
+                                        ": output count must match the spec");
+        }
+        for (std::size_t k = 0; k < spec.num_outputs(); ++k) {
+            if (component.signal_name(component.outputs()[k]) !=
+                spec.signal_name(spec.outputs()[k])) {
+                throw std::invalid_argument(
+                    std::string(who) + ": output names must match the spec");
+            }
+        }
+    }
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// cascade tail: i -> front -> u -> X -> o
+// ---------------------------------------------------------------------------
+
+network to_figure1_cascade_tail(const network& front, const network& spec) {
+    check_port_names(front, spec, /*match_inputs=*/true, "cascade_tail");
+    if (front.num_inputs() != spec.num_inputs()) {
+        throw std::invalid_argument(
+            "cascade_tail: front must read exactly the spec inputs");
+    }
+    auto taken = name_set(front);
+    for (std::uint32_t s = 0; s < spec.num_signals(); ++s) {
+        taken.insert(spec.signal_name(s));
+    }
+    // move front's internals (including its u outputs) out of the way of the
+    // spec-named o outputs we are about to add
+    auto rename = prefix_internals(front, "f$", taken);
+
+    network out("F_" + front.name() + "_cascade_tail");
+    // interface: inputs (i..., v...)
+    for (const std::uint32_t i : spec.inputs()) {
+        out.add_input(spec.signal_name(i));
+    }
+    std::vector<std::string> v_names;
+    for (std::size_t k = 0; k < spec.num_outputs(); ++k) {
+        const std::string v = fresh_name(taken, "xv" + std::to_string(k));
+        taken.insert(v);
+        v_names.push_back(v);
+        out.add_input(v);
+    }
+    copy_body(out, front, rename);
+    // outputs: o... (buffers of v), then u... (front's renamed outputs)
+    for (std::size_t k = 0; k < spec.num_outputs(); ++k) {
+        const std::string o = spec.signal_name(spec.outputs()[k]);
+        out.add_node(o, {v_names[k]}, {"1"});
+        out.add_output(o);
+    }
+    for (const std::uint32_t u : front.outputs()) {
+        const auto it = rename.find(front.signal_name(u));
+        out.add_output(it == rename.end() ? front.signal_name(u) : it->second);
+    }
+    out.validate();
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// cascade head: i -> X -> v -> back -> o
+// ---------------------------------------------------------------------------
+
+network to_figure1_cascade_head(const network& back, const network& spec) {
+    check_port_names(back, spec, /*match_inputs=*/false, "cascade_head");
+    auto taken = name_set(back);
+    for (std::uint32_t s = 0; s < spec.num_signals(); ++s) {
+        taken.insert(spec.signal_name(s));
+    }
+    // back's inputs become v-driven internals; it keeps its o output names,
+    // which must not collide with the spec input names we add
+    std::unordered_map<std::string, std::string> rename;
+    {
+        // rename back's inputs to fresh internal names; the fresh v primary
+        // inputs will drive them through buffers
+        std::unordered_set<std::string> spec_inputs;
+        for (const std::uint32_t i : spec.inputs()) {
+            spec_inputs.insert(spec.signal_name(i));
+        }
+        for (const std::uint32_t b : back.inputs()) {
+            const std::string fresh =
+                fresh_name(taken, "b$" + back.signal_name(b));
+            rename.emplace(back.signal_name(b), fresh);
+            taken.insert(fresh);
+        }
+        // also move any internal signal that collides with a spec input
+        for (std::uint32_t s = 0; s < back.num_signals(); ++s) {
+            const std::string& name = back.signal_name(s);
+            if (rename.count(name) == 0 && spec_inputs.count(name) != 0) {
+                const std::string fresh = fresh_name(taken, "b$" + name);
+                rename.emplace(name, fresh);
+                taken.insert(fresh);
+            }
+        }
+    }
+
+    network out("F_" + back.name() + "_cascade_head");
+    // interface: inputs (i..., v...); v has one wire per back input
+    for (const std::uint32_t i : spec.inputs()) {
+        out.add_input(spec.signal_name(i));
+    }
+    std::vector<std::string> v_names;
+    for (std::size_t k = 0; k < back.num_inputs(); ++k) {
+        const std::string v = fresh_name(taken, "xv" + std::to_string(k));
+        taken.insert(v);
+        v_names.push_back(v);
+        out.add_input(v);
+    }
+    // buffers: renamed back inputs := v
+    for (std::size_t k = 0; k < back.num_inputs(); ++k) {
+        out.add_node(rename.at(back.signal_name(back.inputs()[k])),
+                     {v_names[k]}, {"1"});
+    }
+    copy_body(out, back, rename);
+    // outputs: o... (back's outputs, names match the spec), then u...
+    // (buffers of the external inputs — X observes i)
+    for (const std::uint32_t o : back.outputs()) {
+        const auto it = rename.find(back.signal_name(o));
+        out.add_output(it == rename.end() ? back.signal_name(o) : it->second);
+    }
+    for (std::size_t k = 0; k < spec.num_inputs(); ++k) {
+        const std::string u = fresh_name(taken, "xu" + std::to_string(k));
+        taken.insert(u);
+        out.add_node(u, {spec.signal_name(spec.inputs()[k])}, {"1"});
+        out.add_output(u);
+    }
+    out.validate();
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// controller: plant(i, c) -> o with X: i -> c
+// ---------------------------------------------------------------------------
+
+network to_figure1_controller(const network& plant, const network& spec) {
+    check_port_names(plant, spec, /*match_inputs=*/true, "controller");
+    check_port_names(plant, spec, /*match_inputs=*/false, "controller");
+    const std::size_t num_c = plant.num_inputs() - spec.num_inputs();
+    auto taken = name_set(plant);
+
+    // the control inputs c... are plant inputs, which X's v wires must
+    // drive: rename them to internals fed by buffers from fresh v inputs
+    std::unordered_map<std::string, std::string> rename;
+    std::vector<std::string> c_internal;
+    for (std::size_t k = 0; k < num_c; ++k) {
+        const std::string& c =
+            plant.signal_name(plant.inputs()[spec.num_inputs() + k]);
+        const std::string fresh = fresh_name(taken, "c$" + c);
+        rename.emplace(c, fresh);
+        taken.insert(fresh);
+        c_internal.push_back(fresh);
+    }
+
+    network out("F_" + plant.name() + "_controller");
+    for (std::size_t k = 0; k < spec.num_inputs(); ++k) {
+        out.add_input(spec.signal_name(spec.inputs()[k]));
+    }
+    std::vector<std::string> v_names;
+    for (std::size_t k = 0; k < num_c; ++k) {
+        const std::string v = fresh_name(taken, "xv" + std::to_string(k));
+        taken.insert(v);
+        v_names.push_back(v);
+        out.add_input(v);
+    }
+    for (std::size_t k = 0; k < num_c; ++k) {
+        out.add_node(c_internal[k], {v_names[k]}, {"1"});
+    }
+    copy_body(out, plant, rename);
+    for (std::size_t k = 0; k < spec.num_outputs(); ++k) {
+        out.add_output(spec.signal_name(spec.outputs()[k]));
+    }
+    // X observes the external inputs: buffer them out as u
+    for (std::size_t k = 0; k < spec.num_inputs(); ++k) {
+        const std::string u = fresh_name(taken, "xu" + std::to_string(k));
+        taken.insert(u);
+        out.add_node(u, {spec.signal_name(spec.inputs()[k])}, {"1"});
+        out.add_output(u);
+    }
+    out.validate();
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// bundled solve entry points
+// ---------------------------------------------------------------------------
+
+namespace {
+
+topology_solution solve_with(network fixed, const network& spec,
+                             const solve_options& options) {
+    topology_solution sol;
+    sol.fixed = std::move(fixed);
+    sol.problem = std::make_unique<equation_problem>(sol.fixed, spec);
+    sol.result = solve_partitioned(*sol.problem, options);
+    return sol;
+}
+
+} // namespace
+
+topology_solution solve_cascade_tail(const network& front, const network& spec,
+                                     const solve_options& options) {
+    return solve_with(to_figure1_cascade_tail(front, spec), spec, options);
+}
+
+topology_solution solve_cascade_head(const network& back, const network& spec,
+                                     const solve_options& options) {
+    return solve_with(to_figure1_cascade_head(back, spec), spec, options);
+}
+
+topology_solution solve_controller(const network& plant, const network& spec,
+                                   const solve_options& options) {
+    return solve_with(to_figure1_controller(plant, spec), spec, options);
+}
+
+} // namespace leq

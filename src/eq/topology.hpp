@@ -1,0 +1,69 @@
+/// \file topology.hpp
+/// \brief Alternative unknown-component topologies (paper, footnote 6).
+///
+/// The paper presents the Figure-1 topology — X in a feedback loop with F,
+/// reading F's u outputs and driving F's v inputs — but notes its results
+/// are not limited to it.  This module reduces three other standard
+/// topologies of the unknown-component problem to the Figure-1 interface by
+/// network surgery (buffer insertion and signal renaming), so the same
+/// partitioned solver applies unchanged:
+///
+///   cascade tail   i -> F -> u -> X -> o      (X drives the outputs)
+///   cascade head   i -> X -> v -> F -> o      (X preprocesses the inputs)
+///   controller     plant(i, c) -> o, X: i -> c (full input observation)
+///
+/// In every case the transformed F' has inputs (i..., v...) and outputs
+/// (o..., u...) with i/o matching the specification by name, which is
+/// exactly what equation_problem consumes.
+#pragma once
+
+#include "eq/problem.hpp"
+#include "eq/solver.hpp"
+#include "net/network.hpp"
+
+#include <memory>
+
+namespace leq {
+
+/// Cascade tail: `front` computes u from the external inputs; the unknown
+/// consumes u and must produce the external outputs.  `front`'s inputs must
+/// match `spec`'s by name; its outputs become X's inputs.  The result wires
+/// fresh v inputs straight through to `spec`-named outputs.
+[[nodiscard]] network to_figure1_cascade_tail(const network& front,
+                                              const network& spec);
+
+/// Cascade head: the unknown reads the external inputs and feeds `back`,
+/// which computes the external outputs.  `back`'s outputs must match
+/// `spec`'s by name; its inputs are re-driven by fresh v inputs, and the
+/// external inputs are buffered out to X as u.
+[[nodiscard]] network to_figure1_cascade_head(const network& back,
+                                              const network& spec);
+
+/// Controller synthesis with full input observation: `plant` has inputs
+/// (i..., c...) — the first |spec inputs| match `spec` by name, the rest are
+/// control inputs for X to drive — and `spec`-named outputs.  The external
+/// inputs are buffered out to X as u; X's v outputs drive c.
+[[nodiscard]] network to_figure1_controller(const network& plant,
+                                            const network& spec);
+
+/// A topology instance bundled with its solution.  The solve_result's CSF
+/// lives in the problem's BDD manager, so the problem (and with it the
+/// manager) is owned here and must outlive any use of the automaton.
+struct topology_solution {
+    network fixed; ///< the Figure-1 form of the fixed component
+    std::unique_ptr<equation_problem> problem;
+    solve_result result;
+};
+
+/// Transform + build + solve with the partitioned flow, in one call.
+[[nodiscard]] topology_solution
+solve_cascade_tail(const network& front, const network& spec,
+                   const solve_options& options = {});
+[[nodiscard]] topology_solution
+solve_cascade_head(const network& back, const network& spec,
+                   const solve_options& options = {});
+[[nodiscard]] topology_solution
+solve_controller(const network& plant, const network& spec,
+                 const solve_options& options = {});
+
+} // namespace leq

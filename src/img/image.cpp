@@ -1,0 +1,200 @@
+/// \file image.cpp
+/// \brief Image engine: clustering, quantification scheduling, reachability.
+
+#include "img/image.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+namespace leq {
+
+image_engine::image_engine(bdd_manager& mgr, std::vector<bdd> parts,
+                           std::vector<std::uint32_t> quantify,
+                           const image_options& options)
+    : mgr_(&mgr), parts_(std::move(parts)), quantify_(std::move(quantify)),
+      leading_cube_(mgr.one()), early_(options.early_quantification),
+      all_cube_(mgr.cube(quantify_)) {
+    build_schedule(options);
+}
+
+void image_engine::build_schedule(const image_options& options) {
+    if (!early_) {
+        // naive/monolithic mode: one big conjunction, quantified at the end
+        bdd product = mgr_->one();
+        for (const bdd& p : parts_) { product &= p; }
+        clusters_ = {product};
+        cubes_ = {all_cube_};
+        leading_cube_ = mgr_->one();
+        return;
+    }
+
+    // cluster parts greedily up to the node limit
+    std::vector<bdd> clustered;
+    for (const bdd& p : parts_) {
+        if (!clustered.empty() && options.cluster_limit > 0) {
+            const bdd candidate = clustered.back() & p;
+            if (mgr_->dag_size(candidate) <= options.cluster_limit) {
+                clustered.back() = candidate;
+                continue;
+            }
+        }
+        clustered.push_back(p);
+    }
+
+    const std::unordered_set<std::uint32_t> qset(quantify_.begin(),
+                                                 quantify_.end());
+    // quantified support per cluster
+    std::vector<std::vector<std::uint32_t>> qsupport(clustered.size());
+    for (std::size_t k = 0; k < clustered.size(); ++k) {
+        for (const std::uint32_t v : mgr_->support(clustered[k])) {
+            if (qset.count(v) != 0) { qsupport[k].push_back(v); }
+        }
+    }
+
+    // greedy order: at each step pick the cluster that retires the most
+    // quantified variables (variables appearing in no other pending cluster)
+    // net of the variables it newly activates
+    std::vector<bool> used(clustered.size(), false);
+    std::vector<std::size_t> order;
+    std::unordered_set<std::uint32_t> live;
+    for (std::size_t round = 0; round < clustered.size(); ++round) {
+        int best_score = -1 << 30;
+        std::size_t best = 0;
+        for (std::size_t k = 0; k < clustered.size(); ++k) {
+            if (used[k]) { continue; }
+            int retired = 0, activated = 0;
+            for (const std::uint32_t v : qsupport[k]) {
+                bool elsewhere = false;
+                for (std::size_t m = 0; m < clustered.size(); ++m) {
+                    if (m == k || used[m]) { continue; }
+                    if (std::find(qsupport[m].begin(), qsupport[m].end(), v) !=
+                        qsupport[m].end()) {
+                        elsewhere = true;
+                        break;
+                    }
+                }
+                if (!elsewhere) { ++retired; }
+                if (live.count(v) == 0) { ++activated; }
+            }
+            const int score = 2 * retired - activated;
+            if (score > best_score) {
+                best_score = score;
+                best = k;
+            }
+        }
+        used[best] = true;
+        order.push_back(best);
+        for (const std::uint32_t v : qsupport[best]) { live.insert(v); }
+    }
+
+    // last occurrence of each quantified variable along the chosen order
+    std::vector<std::vector<std::uint32_t>> retire_at(order.size());
+    std::unordered_set<std::uint32_t> seen;
+    for (std::size_t pos = order.size(); pos-- > 0;) {
+        for (const std::uint32_t v : qsupport[order[pos]]) {
+            if (seen.insert(v).second) { retire_at[pos].push_back(v); }
+        }
+    }
+    // variables in no cluster at all: quantified straight out of `from`
+    std::vector<std::uint32_t> leading;
+    for (const std::uint32_t v : quantify_) {
+        if (seen.count(v) == 0) { leading.push_back(v); }
+    }
+    leading_cube_ = mgr_->cube(leading);
+
+    clusters_.clear();
+    cubes_.clear();
+    for (std::size_t pos = 0; pos < order.size(); ++pos) {
+        clusters_.push_back(clustered[order[pos]]);
+        cubes_.push_back(mgr_->cube(retire_at[pos]));
+    }
+}
+
+bdd image_engine::image(const bdd& from) const {
+    bdd acc = mgr_->exists(from, leading_cube_);
+    for (std::size_t k = 0; k < clusters_.size(); ++k) {
+        acc = mgr_->and_exists(acc, clusters_[k], cubes_[k]);
+    }
+    return acc;
+}
+
+bdd reachable_states(bdd_manager& mgr, const std::vector<bdd>& next_state,
+                     const std::vector<std::uint32_t>& cs_vars,
+                     const std::vector<std::uint32_t>& ns_vars,
+                     const std::vector<std::uint32_t>& input_vars,
+                     const bdd& init, const image_options& options) {
+    assert(next_state.size() == cs_vars.size() &&
+           cs_vars.size() == ns_vars.size());
+    std::vector<bdd> parts;
+    parts.reserve(next_state.size());
+    for (std::size_t k = 0; k < next_state.size(); ++k) {
+        parts.push_back(mgr.var(ns_vars[k]).iff(next_state[k]));
+    }
+    std::vector<std::uint32_t> quantify = input_vars;
+    quantify.insert(quantify.end(), cs_vars.begin(), cs_vars.end());
+    const image_engine engine(mgr, parts, quantify, options);
+
+    // ns -> cs renaming
+    std::vector<std::uint32_t> perm(mgr.num_vars());
+    for (std::uint32_t v = 0; v < perm.size(); ++v) { perm[v] = v; }
+    for (std::size_t k = 0; k < cs_vars.size(); ++k) {
+        perm[ns_vars[k]] = cs_vars[k];
+        perm[cs_vars[k]] = ns_vars[k];
+    }
+
+    bdd reached = init;
+    bdd frontier = init;
+    while (!frontier.is_zero()) {
+        const bdd img_ns = engine.image(frontier);
+        const bdd img_cs = mgr.permute(img_ns, perm);
+        frontier = img_cs & !reached;
+        reached |= frontier;
+    }
+    return reached;
+}
+
+reach_info reachable_states_layered(bdd_manager& mgr,
+                                    const std::vector<bdd>& next_state,
+                                    const std::vector<std::uint32_t>& cs_vars,
+                                    const std::vector<std::uint32_t>& ns_vars,
+                                    const std::vector<std::uint32_t>& input_vars,
+                                    const bdd& init,
+                                    const image_options& options) {
+    assert(next_state.size() == cs_vars.size() &&
+           cs_vars.size() == ns_vars.size());
+    std::vector<bdd> parts;
+    parts.reserve(next_state.size());
+    for (std::size_t k = 0; k < next_state.size(); ++k) {
+        parts.push_back(mgr.var(ns_vars[k]).iff(next_state[k]));
+    }
+    std::vector<std::uint32_t> quantify = input_vars;
+    quantify.insert(quantify.end(), cs_vars.begin(), cs_vars.end());
+    const image_engine engine(mgr, parts, quantify, options);
+
+    std::vector<std::uint32_t> perm(mgr.num_vars());
+    for (std::uint32_t v = 0; v < perm.size(); ++v) { perm[v] = v; }
+    for (std::size_t k = 0; k < cs_vars.size(); ++k) {
+        perm[ns_vars[k]] = cs_vars[k];
+        perm[cs_vars[k]] = ns_vars[k];
+    }
+
+    const auto nbits = static_cast<std::uint32_t>(cs_vars.size());
+    reach_info info;
+    info.reached = init;
+    info.layer_states.push_back(mgr.sat_count(init, nbits));
+    bdd frontier = init;
+    while (!frontier.is_zero()) {
+        const bdd img_cs = mgr.permute(engine.image(frontier), perm);
+        frontier = img_cs & !info.reached;
+        info.reached |= frontier;
+        if (!frontier.is_zero()) {
+            ++info.depth;
+            info.layer_states.push_back(mgr.sat_count(frontier, nbits));
+        }
+    }
+    info.total_states = mgr.sat_count(info.reached, nbits);
+    return info;
+}
+
+} // namespace leq

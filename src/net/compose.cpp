@@ -1,0 +1,86 @@
+/// \file compose.cpp
+/// \brief Network composition.
+
+#include "net/compose.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+
+namespace leq {
+
+namespace {
+
+std::vector<std::string> cube_rows(const logic_node& node) {
+    std::vector<std::string> rows;
+    rows.reserve(node.cubes.size());
+    for (const sop_cube& cube : node.cubes) {
+        std::string row;
+        for (const std::uint8_t lit : cube.literals) {
+            row.push_back(lit == 2 ? '-' : static_cast<char>('0' + lit));
+        }
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+} // namespace
+
+network compose_networks(const network& fixed, const network& part,
+                         const std::vector<std::string>& u_names,
+                         const std::vector<std::string>& v_names) {
+    if (part.num_inputs() != u_names.size() ||
+        part.num_outputs() != v_names.size()) {
+        throw std::invalid_argument("compose_networks: port count mismatch");
+    }
+    const std::size_t num_i = fixed.num_inputs() - v_names.size();
+    const std::size_t num_o = fixed.num_outputs() - u_names.size();
+
+    network net(fixed.name() + "_x_" + part.name());
+    // external inputs: F's i ports only
+    for (std::size_t k = 0; k < num_i; ++k) {
+        net.add_input(fixed.signal_name(fixed.inputs()[k]));
+    }
+    for (std::size_t j = 0; j < num_o; ++j) {
+        net.add_output(fixed.signal_name(fixed.outputs()[j]));
+    }
+    // F's latches and logic, names preserved
+    for (const latch& l : fixed.latches()) {
+        net.add_latch(fixed.signal_name(l.input), fixed.signal_name(l.output),
+                      l.init);
+    }
+    for (const logic_node& node : fixed.nodes()) {
+        std::vector<std::string> fanins;
+        for (const std::uint32_t f : node.fanins) {
+            fanins.push_back(fixed.signal_name(f));
+        }
+        net.add_node(fixed.signal_name(node.output), fanins, cube_rows(node),
+                     node.complemented);
+    }
+    // X's latches and logic with a prefix to avoid collisions
+    const std::string prefix = "xp__";
+    const auto xname = [&](std::uint32_t sig) {
+        return prefix + part.signal_name(sig);
+    };
+    for (const latch& l : part.latches()) {
+        net.add_latch(xname(l.input), xname(l.output), l.init);
+    }
+    for (const logic_node& node : part.nodes()) {
+        std::vector<std::string> fanins;
+        for (const std::uint32_t f : node.fanins) {
+            fanins.push_back(xname(f));
+        }
+        net.add_node(xname(node.output), fanins, cube_rows(node),
+                     node.complemented);
+    }
+    // wiring: X input j reads F's u_j; F's v input reads X output j
+    for (std::size_t j = 0; j < u_names.size(); ++j) {
+        net.add_node(xname(part.inputs()[j]), {u_names[j]}, {"1"});
+    }
+    for (std::size_t j = 0; j < v_names.size(); ++j) {
+        net.add_node(v_names[j], {xname(part.outputs()[j])}, {"1"});
+    }
+    net.validate(); // rejects combinational u -> v -> u cycles
+    return net;
+}
+
+} // namespace leq

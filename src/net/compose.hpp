@@ -1,0 +1,30 @@
+/// \file compose.hpp
+/// \brief Synchronous composition of the fixed component with a concrete
+/// unknown-component implementation, back into one closed network.
+///
+/// Rebuilds the Figure-1 topology as a flat netlist: F's u outputs drive
+/// X's inputs and X's v outputs drive F's v inputs; the composed network
+/// keeps F's external ports (i, o).  X's v outputs must not depend
+/// combinationally on its inputs (Moore-style, e.g. the latch-only X_P from
+/// latch splitting), otherwise the u -> v -> u loop would be a
+/// combinational cycle — the caveat the paper's footnote 5 points out for
+/// CSF implementations; validate() rejects such compositions.
+#pragma once
+
+#include "net/network.hpp"
+
+#include <string>
+#include <vector>
+
+namespace leq {
+
+/// \param fixed F, with inputs (i..., v_names...) and outputs (o...,
+///        u_names...) as produced by split_latches
+/// \param part X's implementation; its ports are matched positionally to
+///        u_names / v_names
+[[nodiscard]] network compose_networks(const network& fixed,
+                                       const network& part,
+                                       const std::vector<std::string>& u_names,
+                                       const std::vector<std::string>& v_names);
+
+} // namespace leq

@@ -1,0 +1,454 @@
+/// \file generator.cpp
+/// \brief Synthetic circuit families for tests, examples and benchmarks.
+
+#include "net/generator.hpp"
+
+#include <random>
+#include <stdexcept>
+
+namespace leq {
+
+namespace {
+
+std::string sig(const std::string& base, std::size_t k) {
+    return base + std::to_string(k);
+}
+
+} // namespace
+
+network make_paper_example() {
+    network net("paper_fig3");
+    net.add_input("i");
+    net.add_output("o");
+    net.add_latch("ns1", "cs1", false);
+    net.add_latch("ns2", "cs2", false);
+    net.add_node("ns1", {"i", "cs2"}, {"11"});        // T1 = i & cs2
+    net.add_node("ns2", {"i", "cs1"}, {"0-", "-1"});  // T2 = !i | cs1
+    net.add_node("o", {"cs1", "cs2"}, {"11"});        // o = cs1 & cs2
+    net.validate();
+    return net;
+}
+
+network make_counter(std::size_t bits) {
+    if (bits == 0) { throw std::invalid_argument("make_counter: bits == 0"); }
+    network net("counter" + std::to_string(bits));
+    net.add_input("en");
+    net.add_input("clr");
+    net.add_output("carry");
+    for (std::size_t k = 0; k < bits; ++k) {
+        net.add_latch(sig("n", k), sig("q", k), false);
+    }
+    // ripple carry: c0 = en, ck = c(k-1) & q(k-1)
+    net.add_node("c0", {"en"}, {"1"});
+    for (std::size_t k = 1; k < bits; ++k) {
+        net.add_node(sig("c", k), {sig("c", k - 1), sig("q", k - 1)}, {"11"});
+    }
+    // nk = !clr & (qk ^ ck)
+    for (std::size_t k = 0; k < bits; ++k) {
+        net.add_node(sig("n", k), {"clr", sig("q", k), sig("c", k)},
+                     {"010", "001"});
+    }
+    net.add_node("carry", {sig("c", bits - 1), sig("q", bits - 1)}, {"11"});
+    net.validate();
+    return net;
+}
+
+network make_lfsr(std::size_t bits, const std::vector<std::size_t>& taps) {
+    if (bits == 0) { throw std::invalid_argument("make_lfsr: bits == 0"); }
+    network net("lfsr" + std::to_string(bits));
+    net.add_input("en");
+    net.add_output("serial");
+    for (std::size_t k = 0; k < bits; ++k) {
+        net.add_latch(sig("n", k), sig("q", k), k == 0); // init 100..0
+    }
+    // feedback = xor of tapped bits, built as a chain of 2-input xors
+    std::string fb = sig("q", bits - 1);
+    std::size_t stage = 0;
+    for (const std::size_t t : taps) {
+        if (t >= bits) { throw std::invalid_argument("make_lfsr: tap range"); }
+        const std::string next = sig("fb", stage++);
+        net.add_node(next, {fb, sig("q", t)}, {"10", "01"});
+        fb = next;
+    }
+    // shift when enabled, hold otherwise
+    // n0 = en ? fb : q0 ; nk = en ? q(k-1) : qk
+    net.add_node(sig("n", 0), {"en", fb, sig("q", 0)}, {"11-", "0-1"});
+    for (std::size_t k = 1; k < bits; ++k) {
+        net.add_node(sig("n", k), {"en", sig("q", k - 1), sig("q", k)},
+                     {"11-", "0-1"});
+    }
+    net.add_node("serial", {sig("q", bits - 1)}, {"1"});
+    net.validate();
+    return net;
+}
+
+network make_shift_xor(std::size_t bits) {
+    if (bits == 0) { throw std::invalid_argument("make_shift_xor: bits == 0"); }
+    network net("shiftxor" + std::to_string(bits));
+    net.add_input("din");
+    net.add_output("parity");
+    for (std::size_t k = 0; k < bits; ++k) {
+        net.add_latch(sig("n", k), sig("q", k), false);
+    }
+    // serial in xor the last bit
+    net.add_node(sig("n", 0), {"din", sig("q", bits - 1)}, {"10", "01"});
+    for (std::size_t k = 1; k < bits; ++k) {
+        net.add_node(sig("n", k), {sig("q", k - 1)}, {"1"});
+    }
+    // parity chain
+    std::string par = sig("q", 0);
+    for (std::size_t k = 1; k < bits; ++k) {
+        const std::string next = sig("p", k);
+        net.add_node(next, {par, sig("q", k)}, {"10", "01"});
+        par = next;
+    }
+    net.add_node("parity", {par}, {"1"});
+    net.validate();
+    return net;
+}
+
+network make_traffic_controller() {
+    // Moore machine with 5 states (3 latches): highway green / highway
+    // yellow / all red / farm green / farm yellow.  Inputs: car sensor on the
+    // farm road, timer expiry.  Outputs: hw_green, hw_yellow, fm_green,
+    // fm_yellow.
+    network net("traffic");
+    net.add_input("car");
+    net.add_input("timer");
+    net.add_output("hw_green");
+    net.add_output("hw_yellow");
+    net.add_output("fm_green");
+    net.add_output("fm_yellow");
+    for (std::size_t k = 0; k < 3; ++k) {
+        net.add_latch(sig("n", k), sig("s", k), false);
+    }
+    // state codes (s2 s1 s0): HG=000, HY=001, AR=010, FG=011, FY=100.
+    // cycle: HG -car&timer-> HY -timer-> AR -> FG -(!car|timer)-> FY
+    //        -timer-> HG; unused codes recover to HG.
+    const std::vector<std::string> fi{"s2", "s1", "s0", "car", "timer"};
+    net.add_node("n2", fi,
+                 {"0110-",   // FG & !car        -> FY
+                  "011-1",   // FG & timer       -> FY
+                  "100-0"}); // FY & !timer stays FY
+    net.add_node("n1", fi,
+                 {"001-1",   // HY & timer       -> AR
+                  "010--",   // AR               -> FG
+                  "01110"}); // FG & car & !timer stays FG
+    net.add_node("n0", fi,
+                 {"00011",   // HG & car & timer -> HY
+                  "001-0",   // HY & !timer stays HY
+                  "010--",   // AR               -> FG
+                  "01110"}); // FG & car & !timer stays FG
+    net.add_node("hw_green", {"s2", "s1", "s0"}, {"000"});
+    net.add_node("hw_yellow", {"s2", "s1", "s0"}, {"001"});
+    net.add_node("fm_green", {"s2", "s1", "s0"}, {"011"});
+    net.add_node("fm_yellow", {"s2", "s1", "s0"}, {"100"});
+    net.validate();
+    return net;
+}
+
+network make_random_sequential(const random_spec& spec) {
+    if (spec.num_latches == 0 && spec.num_inputs == 0) {
+        throw std::invalid_argument("make_random_sequential: empty interface");
+    }
+    std::mt19937 rng(spec.seed);
+    network net("rnd_i" + std::to_string(spec.num_inputs) + "_o" +
+                std::to_string(spec.num_outputs) + "_l" +
+                std::to_string(spec.num_latches) + "_s" +
+                std::to_string(spec.seed));
+    std::vector<std::string> sources;
+    for (std::size_t k = 0; k < spec.num_inputs; ++k) {
+        const std::string name = sig("x", k);
+        net.add_input(name);
+        sources.push_back(name);
+    }
+    for (std::size_t k = 0; k < spec.num_latches; ++k) {
+        const std::string name = sig("q", k);
+        net.add_latch(sig("n", k), name, (spec.seed >> (k % 8) & 1) != 0);
+        sources.push_back(name);
+    }
+    const auto pick = [&](std::size_t exclude_under) {
+        std::uniform_int_distribution<std::size_t> d(exclude_under,
+                                                     sources.size() - 1);
+        return sources[d(rng)];
+    };
+    const std::size_t min_fanin = 2;
+    const auto make_function = [&](const std::string& output,
+                                   const std::string& bias_in) {
+        std::uniform_int_distribution<std::size_t> fd(
+            min_fanin, std::max(min_fanin, spec.max_fanin));
+        std::size_t nf = fd(rng);
+        std::vector<std::string> fanins;
+        if (!bias_in.empty()) { fanins.push_back(bias_in); }
+        while (fanins.size() < nf) {
+            const std::string c = pick(0);
+            bool dup = false;
+            for (const auto& f : fanins) { dup |= (f == c); }
+            if (!dup) { fanins.push_back(c); }
+            if (fanins.size() >= sources.size()) { break; }
+        }
+        // function shape: XOR of first two fanins OR'd with a random cube of
+        // the rest; keeps images non-trivial without blowing up
+        std::vector<std::string> cubes;
+        std::string cube_a(fanins.size(), '-');
+        std::string cube_b(fanins.size(), '-');
+        cube_a[0] = '1'; cube_a[1] = '0';
+        cube_b[0] = '0'; cube_b[1] = '1';
+        cubes.push_back(cube_a);
+        cubes.push_back(cube_b);
+        if (fanins.size() > 2) {
+            std::string extra(fanins.size(), '-');
+            for (std::size_t k = 2; k < fanins.size(); ++k) {
+                extra[k] = (rng() & 1) ? '1' : '0';
+            }
+            cubes.push_back(extra);
+        }
+        net.add_node(output, fanins, cubes);
+    };
+    for (std::size_t k = 0; k < spec.num_latches; ++k) {
+        // bias each latch function to read its own state: keeps the machine
+        // from collapsing to a shallow pipeline
+        make_function(sig("n", k), sig("q", k));
+    }
+    for (std::size_t k = 0; k < spec.num_outputs; ++k) {
+        const std::string name = sig("y", k);
+        net.add_output(name);
+        make_function(name, "");
+    }
+    net.validate();
+    return net;
+}
+
+network make_structured_mix(const structured_spec& spec) {
+    if (spec.num_latches == 0 || spec.num_inputs == 0 ||
+        spec.num_outputs == 0) {
+        throw std::invalid_argument("make_structured_mix: empty interface");
+    }
+    std::mt19937 rng(spec.seed);
+    network net("mix_i" + std::to_string(spec.num_inputs) + "_o" +
+                std::to_string(spec.num_outputs) + "_l" +
+                std::to_string(spec.num_latches) + "_s" +
+                std::to_string(spec.seed));
+    std::vector<std::string> ins;
+    for (std::size_t k = 0; k < spec.num_inputs; ++k) {
+        ins.push_back(sig("x", k));
+        net.add_input(ins.back());
+    }
+    const auto input = [&](std::size_t k) { return ins[k % ins.size()]; };
+
+    // carve latches into blocks of 3..5
+    std::vector<std::size_t> blocks;
+    std::size_t left = spec.num_latches;
+    while (left > 0) {
+        const std::size_t take = std::min<std::size_t>(left, 3 + rng() % 3);
+        blocks.push_back(take);
+        left -= take;
+    }
+
+    std::size_t latch = 0;   // global latch counter (names q<k>/n<k>)
+    std::string bridge;      // previous block's carry/tail signal
+    std::size_t bridge_no = 0;
+    for (std::size_t b = 0; b < blocks.size(); ++b) {
+        const std::size_t width = blocks[b];
+        const std::size_t base = latch;
+        for (std::size_t k = 0; k < width; ++k) {
+            net.add_latch(sig("n", base + k), sig("q", base + k),
+                          (spec.seed >> ((base + k) % 8) & 1) != 0);
+        }
+        // enable: an input gated by the previous block's bridge; in chained
+        // mode later blocks run purely off the bridge
+        std::string enable = input(b);
+        if (!bridge.empty()) {
+            if (spec.chained_enables) {
+                enable = bridge;
+            } else {
+                const std::string gated = "en" + std::to_string(b);
+                net.add_node(gated, {enable, bridge},
+                             {"1-", "-1"}); // en | bridge
+                enable = gated;
+            }
+        }
+        const int kind = static_cast<int>(b % 3);
+        if (kind == 0) {
+            // counter block: ripple carry, bridge = carry out
+            std::string carry = enable;
+            for (std::size_t k = 0; k < width; ++k) {
+                const std::string q = sig("q", base + k);
+                // n = q ^ carry
+                net.add_node(sig("n", base + k), {q, carry}, {"10", "01"});
+                if (k + 1 < width) {
+                    const std::string c = "c" + std::to_string(base + k);
+                    net.add_node(c, {carry, q}, {"11"});
+                    carry = c;
+                }
+            }
+            bridge = "bb" + std::to_string(bridge_no++);
+            net.add_node(bridge, {carry, sig("q", base + width - 1)}, {"11"});
+        } else if (kind == 1) {
+            // shift block: head = input ^ bridge-ish, bridge = tail
+            const std::string head_a = input(b + 1);
+            net.add_node(sig("n", base),
+                         {enable, head_a, sig("q", base)},
+                         {"11-", "0-1"}); // shift in when enabled, else hold
+            for (std::size_t k = 1; k < width; ++k) {
+                net.add_node(sig("n", base + k),
+                             {enable, sig("q", base + k - 1), sig("q", base + k)},
+                             {"11-", "0-1"});
+            }
+            bridge = sig("q", base + width - 1);
+        } else {
+            // LFSR block: feedback = tail ^ tap, gated by enable
+            const std::string fb = "fb" + std::to_string(bridge_no++);
+            const std::size_t tap = base + rng() % width;
+            net.add_node(fb, {sig("q", base + width - 1), sig("q", tap)},
+                         {"10", "01"});
+            net.add_node(sig("n", base), {enable, fb, sig("q", base)},
+                         {"11-", "0-1"});
+            for (std::size_t k = 1; k < width; ++k) {
+                net.add_node(sig("n", base + k),
+                             {enable, sig("q", base + k - 1), sig("q", base + k)},
+                             {"11-", "0-1"});
+            }
+            bridge = fb;
+        }
+        latch += width;
+    }
+
+    if (spec.full_observation) {
+        // output j = XOR of latches j, j+no, j+2no, ... (covers every latch)
+        for (std::size_t j = 0; j < spec.num_outputs; ++j) {
+            const std::string y = sig("y", j);
+            net.add_output(y);
+            std::string acc;
+            std::size_t stage = 0;
+            for (std::size_t q = j; q < spec.num_latches;
+                 q += spec.num_outputs) {
+                if (acc.empty()) {
+                    acc = sig("q", q);
+                } else {
+                    const std::string next =
+                        "yx" + std::to_string(j) + "_" + std::to_string(stage++);
+                    net.add_node(next, {acc, sig("q", q)}, {"10", "01"});
+                    acc = next;
+                }
+            }
+            net.add_node(y, {acc}, {"1"});
+        }
+    } else {
+        // outputs: cross-block pair mixes (xor of two state bits, optionally
+        // and-ed with an input)
+        for (std::size_t j = 0; j < spec.num_outputs; ++j) {
+            const std::string y = sig("y", j);
+            net.add_output(y);
+            const std::string qa = sig("q", rng() % spec.num_latches);
+            std::string qb = sig("q", rng() % spec.num_latches);
+            if (qb == qa) { qb = input(j); }
+            if (j % 2 == 0) {
+                net.add_node(y, {qa, qb}, {"10", "01"}); // xor
+            } else {
+                net.add_node(y, {qa, qb, input(j)}, {"11-", "--1"});
+            }
+        }
+    }
+    net.validate();
+    return net;
+}
+
+network make_paired_mix(const structured_spec& a, const structured_spec& b) {
+    const network na = make_structured_mix(a);
+    const network nb = make_structured_mix(b);
+    const std::size_t ni = std::max(a.num_inputs, b.num_inputs);
+    const std::size_t no = std::max(a.num_outputs, b.num_outputs);
+    network net("pair_l" + std::to_string(a.num_latches + b.num_latches) +
+                "_s" + std::to_string(a.seed) + "_" + std::to_string(b.seed));
+    for (std::size_t k = 0; k < ni; ++k) { net.add_input(sig("x", k)); }
+    for (std::size_t j = 0; j < no; ++j) { net.add_output(sig("y", j)); }
+
+    // instantiate one half with a prefix; its inputs alias the shared x's
+    const auto instantiate = [&](const network& half,
+                                 const std::string& prefix) {
+        for (std::size_t k = 0; k < half.num_inputs(); ++k) {
+            net.add_node(prefix + half.signal_name(half.inputs()[k]),
+                         {sig("x", k)}, {"1"});
+        }
+        for (const latch& l : half.latches()) {
+            net.add_latch(prefix + half.signal_name(l.input),
+                          prefix + half.signal_name(l.output), l.init);
+        }
+        for (const logic_node& node : half.nodes()) {
+            std::vector<std::string> fanins;
+            for (const std::uint32_t f : node.fanins) {
+                fanins.push_back(prefix + half.signal_name(f));
+            }
+            std::vector<std::string> rows;
+            for (const sop_cube& cube : node.cubes) {
+                std::string row;
+                for (const std::uint8_t lit : cube.literals) {
+                    row.push_back(lit == 2 ? '-'
+                                           : static_cast<char>('0' + lit));
+                }
+                rows.push_back(std::move(row));
+            }
+            net.add_node(prefix + half.signal_name(node.output), fanins, rows,
+                         node.complemented);
+        }
+    };
+    instantiate(na, "a_");
+    instantiate(nb, "b_");
+
+    // outputs: XOR of the two halves' outputs (wrap indices as needed)
+    for (std::size_t j = 0; j < no; ++j) {
+        const std::string ya =
+            "a_" + na.signal_name(na.outputs()[j % na.num_outputs()]);
+        const std::string yb =
+            "b_" + nb.signal_name(nb.outputs()[j % nb.num_outputs()]);
+        net.add_node(sig("y", j), {ya, yb}, {"10", "01"});
+    }
+    net.validate();
+    return net;
+}
+
+std::vector<table1_instance> make_table1_suite() {
+    std::vector<table1_instance> suite;
+    const auto add = [&](const std::string& name, std::size_t ni,
+                         std::size_t no, std::size_t nl, std::size_t fcs,
+                         std::size_t xcs, std::uint32_t seed) {
+        structured_spec spec;
+        spec.num_inputs = ni;
+        spec.num_outputs = no;
+        spec.num_latches = nl;
+        spec.seed = seed;
+        network circuit = make_structured_mix(spec);
+        circuit.set_name(name);
+        suite.push_back({name, std::move(circuit), fcs, xcs});
+    };
+    // paper Table 1 interface dimensions: name, i, o, cs, Fcs, Xcs.
+    // Seeds were calibrated so the CSF sizes land in the paper's regime
+    // (tens of states for s510 up to ~10^4..10^5 for s444/s526); the two
+    // largest rows pair independent mixes (flexibility multiplies across
+    // independent sub-machines).
+    add("s510", 19, 7, 6, 3, 3, 510);
+    add("s208", 10, 1, 8, 4, 4, 208);
+    add("s298", 3, 6, 14, 7, 7, 14);
+    add("s349", 9, 11, 15, 5, 10, 349);
+    const auto add_pair = [&](const std::string& name, std::uint32_t seed_a,
+                              std::uint32_t seed_b, std::size_t fcs,
+                              std::size_t xcs) {
+        structured_spec a, b;
+        a.num_inputs = b.num_inputs = 3;
+        a.num_outputs = b.num_outputs = 6;
+        a.num_latches = 11;
+        b.num_latches = 10;
+        a.seed = seed_a;
+        b.seed = seed_b;
+        a.chained_enables = b.chained_enables = true;
+        network circuit = make_paired_mix(a, b);
+        circuit.set_name(name);
+        suite.push_back({name, std::move(circuit), fcs, xcs});
+    };
+    add_pair("s444", 6, 1, 5, 16);
+    add_pair("s526", 4, 1, 5, 16);
+    return suite;
+}
+
+} // namespace leq

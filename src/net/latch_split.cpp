@@ -1,0 +1,116 @@
+/// \file latch_split.cpp
+/// \brief Latch splitting transformation.
+
+#include "net/latch_split.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace leq {
+
+namespace {
+
+std::vector<std::string> cube_strings(const logic_node& node) {
+    std::vector<std::string> rows;
+    rows.reserve(node.cubes.size());
+    for (const sop_cube& cube : node.cubes) {
+        std::string row;
+        row.reserve(cube.literals.size());
+        for (const std::uint8_t lit : cube.literals) {
+            row.push_back(lit == 2 ? '-' : static_cast<char>('0' + lit));
+        }
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+void copy_logic(const network& from, network& to) {
+    for (const logic_node& node : from.nodes()) {
+        std::vector<std::string> fanins;
+        fanins.reserve(node.fanins.size());
+        for (const std::uint32_t f : node.fanins) {
+            fanins.push_back(from.signal_name(f));
+        }
+        to.add_node(from.signal_name(node.output), fanins, cube_strings(node),
+                    node.complemented);
+    }
+}
+
+} // namespace
+
+split_result split_latches(const network& original,
+                           const std::vector<std::size_t>& x_latches) {
+    std::unordered_set<std::size_t> extracted(x_latches.begin(),
+                                              x_latches.end());
+    if (extracted.size() != x_latches.size()) {
+        throw std::invalid_argument("split_latches: duplicate latch index");
+    }
+    for (const std::size_t k : x_latches) {
+        if (k >= original.num_latches()) {
+            throw std::invalid_argument("split_latches: latch index range");
+        }
+    }
+
+    split_result result;
+    result.fixed.set_name(original.name() + "_F");
+    result.part.set_name(original.name() + "_Xp");
+
+    // F: original inputs, then the v inputs (extracted current states)
+    for (const std::uint32_t s : original.inputs()) {
+        result.fixed.add_input(original.signal_name(s));
+    }
+    for (const std::size_t k : x_latches) {
+        const latch& l = original.latches()[k];
+        result.fixed.add_input(original.signal_name(l.output));
+        result.v_names.push_back(original.signal_name(l.output));
+    }
+    // F: original outputs, then the u outputs (extracted next-state funcs)
+    for (const std::uint32_t s : original.outputs()) {
+        result.fixed.add_output(original.signal_name(s));
+    }
+    for (const std::size_t k : x_latches) {
+        const latch& l = original.latches()[k];
+        result.fixed.add_output(original.signal_name(l.input));
+        result.u_names.push_back(original.signal_name(l.input));
+    }
+    // F keeps the remaining latches and all logic
+    for (std::size_t k = 0; k < original.num_latches(); ++k) {
+        if (extracted.count(k) != 0) { continue; }
+        const latch& l = original.latches()[k];
+        result.fixed.add_latch(original.signal_name(l.input),
+                               original.signal_name(l.output), l.init);
+    }
+    copy_logic(original, result.fixed);
+    result.fixed.validate();
+
+    // X_P: just the extracted latches.  Ports use positional names (the
+    // F-side signal names live in u_names/v_names and may collide with each
+    // other, e.g. when one extracted latch feeds another); the problem
+    // builder matches F's ports to X's ports by position.
+    for (std::size_t j = 0; j < x_latches.size(); ++j) {
+        result.part.add_input("u" + std::to_string(j));
+    }
+    for (std::size_t j = 0; j < x_latches.size(); ++j) {
+        result.part.add_output("v" + std::to_string(j));
+    }
+    for (std::size_t j = 0; j < x_latches.size(); ++j) {
+        const latch& l = original.latches()[x_latches[j]];
+        result.part.add_latch("u" + std::to_string(j), "v" + std::to_string(j),
+                              l.init);
+    }
+    result.part.validate();
+    return result;
+}
+
+split_result split_last_latches(const network& original, std::size_t count) {
+    if (count > original.num_latches()) {
+        throw std::invalid_argument("split_last_latches: count too large");
+    }
+    std::vector<std::size_t> indices(count);
+    const std::size_t first = original.num_latches() - count;
+    for (std::size_t k = 0; k < count; ++k) { indices[k] = first + k; }
+    return split_latches(original, indices);
+}
+
+} // namespace leq

@@ -1,0 +1,37 @@
+/// \file latch_split.hpp
+/// \brief Latch splitting: the syntactic transformation the paper uses to
+/// derive language-equation instances from FSM benchmarks (Section 4).
+///
+/// A sequential circuit is split into two circuits: the fixed component F
+/// keeps all the combinational logic plus a subset of the latches; the other
+/// circuit X_P contains the remaining latches and is a particular solution
+/// for the unknown component.  In the Figure-1 topology, X_P's inputs u are
+/// the next-state functions of the extracted latches (now outputs of F) and
+/// its outputs v are their current-state values (now inputs of F).  The
+/// original circuit is the specification S.
+#pragma once
+
+#include "net/network.hpp"
+
+#include <string>
+#include <vector>
+
+namespace leq {
+
+struct split_result {
+    network fixed;                    ///< F: logic + kept latches
+    network part;                     ///< X_P: the extracted latches
+    std::vector<std::string> u_names; ///< F's extra outputs = X's inputs
+    std::vector<std::string> v_names; ///< F's extra inputs  = X's outputs
+};
+
+/// Extract the latches listed in `x_latches` (indices into
+/// original.latches()) into the unknown-component position.
+[[nodiscard]] split_result
+split_latches(const network& original, const std::vector<std::size_t>& x_latches);
+
+/// Convenience: extract the last `count` latches.
+[[nodiscard]] split_result split_last_latches(const network& original,
+                                              std::size_t count);
+
+} // namespace leq

@@ -1,0 +1,79 @@
+/// \file netbdd.cpp
+/// \brief Topological BDD sweep over a network.
+
+#include "net/netbdd.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+
+namespace leq {
+
+net_bdds build_net_bdds(bdd_manager& mgr, const network& net,
+                        const std::vector<std::uint32_t>& input_vars,
+                        const std::vector<std::uint32_t>& state_vars) {
+    if (input_vars.size() != net.num_inputs() ||
+        state_vars.size() != net.num_latches()) {
+        throw std::invalid_argument("build_net_bdds: variable map size");
+    }
+    std::unordered_map<std::uint32_t, bdd> value; // signal id -> function
+    for (std::size_t k = 0; k < net.inputs().size(); ++k) {
+        value.emplace(net.inputs()[k], mgr.var(input_vars[k]));
+    }
+    for (std::size_t k = 0; k < net.latches().size(); ++k) {
+        value.emplace(net.latches()[k].output, mgr.var(state_vars[k]));
+    }
+
+    // index nodes by output signal for the sweep
+    std::unordered_map<std::uint32_t, const logic_node*> driver;
+    for (const logic_node& node : net.nodes()) {
+        driver.emplace(node.output, &node);
+    }
+
+    for (const std::uint32_t sig : net.topo_order()) {
+        if (value.count(sig) != 0) { continue; }
+        const auto it = driver.find(sig);
+        if (it == driver.end()) {
+            throw std::runtime_error("build_net_bdds: undriven signal '" +
+                                     net.signal_name(sig) + "'");
+        }
+        const logic_node& node = *it->second;
+        bdd f = mgr.zero();
+        for (const sop_cube& cube : node.cubes) {
+            bdd term = mgr.one();
+            for (std::size_t k = 0; k < node.fanins.size(); ++k) {
+                const std::uint8_t lit = cube.literals[k];
+                if (lit == 2) { continue; }
+                const bdd& fanin = value.at(node.fanins[k]);
+                term &= lit == 1 ? fanin : !fanin;
+            }
+            f |= term;
+        }
+        if (node.complemented) { f = !f; }
+        value.emplace(sig, f);
+    }
+
+    net_bdds result;
+    result.outputs.reserve(net.num_outputs());
+    for (const std::uint32_t s : net.outputs()) {
+        result.outputs.push_back(value.at(s));
+    }
+    result.next_state.reserve(net.num_latches());
+    for (const latch& l : net.latches()) {
+        result.next_state.push_back(value.at(l.input));
+    }
+    return result;
+}
+
+bdd state_cube(bdd_manager& mgr, const std::vector<std::uint32_t>& state_vars,
+               const std::vector<bool>& state) {
+    if (state_vars.size() != state.size()) {
+        throw std::invalid_argument("state_cube: width mismatch");
+    }
+    bdd c = mgr.one();
+    for (std::size_t k = 0; k < state_vars.size(); ++k) {
+        c &= mgr.literal(state_vars[k], state[k]);
+    }
+    return c;
+}
+
+} // namespace leq

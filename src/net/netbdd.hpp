@@ -1,0 +1,36 @@
+/// \file netbdd.hpp
+/// \brief Derive the partitioned representation of a network: the per-latch
+/// next-state functions {T_k(i,cs)} and per-output functions {O_j(i,cs)} as
+/// BDDs (paper, Section 2).
+#pragma once
+
+#include "bdd/bdd.hpp"
+#include "net/network.hpp"
+
+#include <vector>
+
+namespace leq {
+
+/// Partitioned representation of a sequential network.
+struct net_bdds {
+    std::vector<bdd> outputs;    ///< O_j over (input vars, state vars)
+    std::vector<bdd> next_state; ///< T_k over (input vars, state vars)
+};
+
+/// Sweep the network in topological order and build the BDD of every
+/// primary-output and latch-input function.
+///
+/// \param input_vars BDD variable id per primary input (same order as
+///        net.inputs())
+/// \param state_vars BDD variable id per latch (same order as net.latches())
+[[nodiscard]] net_bdds
+build_net_bdds(bdd_manager& mgr, const network& net,
+               const std::vector<std::uint32_t>& input_vars,
+               const std::vector<std::uint32_t>& state_vars);
+
+/// Characteristic function of a single state (a cube over state_vars).
+[[nodiscard]] bdd state_cube(bdd_manager& mgr,
+                             const std::vector<std::uint32_t>& state_vars,
+                             const std::vector<bool>& state);
+
+} // namespace leq

@@ -1,0 +1,296 @@
+/// \file sweep.cpp
+/// \brief The combinational sweep pass.
+///
+/// The pass works on a literal representation of each cover ('0'/'1'/'-'
+/// columns like BLIF rows) and runs to a fixpoint in topological order:
+///
+///   * a fanin column driven by a known constant is evaluated away — cubes
+///     conflicting with the constant drop, matching columns vanish;
+///   * a cover left with no cubes is the constant 0, one with an
+///     all-don't-care cube is the constant 1 (off-set covers dualize);
+///   * a single-literal identity ("1") or inverter ("0") cover marks its
+///     output as an alias (source, polarity), and consumers resolve alias
+///     chains with polarity composition;
+///   * finally, only logic in the transitive fanin of the primary outputs
+///     survives; latches are kept exactly when their output is observed.
+
+#include "net/sweep.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace leq {
+
+namespace {
+
+/// Working form of one node's cover.
+struct cover {
+    std::vector<std::uint32_t> fanins;
+    std::vector<std::string> cubes; ///< one char per fanin: '0','1','-'
+    bool complemented = false;      ///< rows describe the off-set
+};
+
+/// What a signal resolves to after sweeping.
+struct alias {
+    enum class kind : std::uint8_t { self, constant, wire };
+    kind k = kind::self;
+    bool value = false;          ///< constant value (kind::constant)
+    std::uint32_t source = 0;    ///< base signal (kind::wire)
+    bool inverted = false;       ///< wire polarity (kind::wire)
+};
+
+/// Evaluate a cover whose fanins are all gone: constant.
+bool constant_of(const cover& c) {
+    // no cubes -> onset empty -> 0; any remaining cube is all-'-' -> 1
+    const bool onset_value = !c.cubes.empty();
+    return c.complemented ? !onset_value : onset_value;
+}
+
+/// Substitute a constant into column `pos`: keep compatible cubes, drop the
+/// column.
+void substitute_constant(cover& c, std::size_t pos, bool value) {
+    std::vector<std::string> kept;
+    for (const std::string& cube : c.cubes) {
+        const char lit = cube[pos];
+        if (lit != '-' && (lit == '1') != value) { continue; }
+        std::string trimmed = cube;
+        trimmed.erase(trimmed.begin() + static_cast<std::ptrdiff_t>(pos));
+        kept.push_back(std::move(trimmed));
+    }
+    c.cubes = std::move(kept);
+    c.fanins.erase(c.fanins.begin() + static_cast<std::ptrdiff_t>(pos));
+}
+
+/// Flip the polarity of column `pos` ('0' <-> '1').
+void flip_column(cover& c, std::size_t pos) {
+    for (std::string& cube : c.cubes) {
+        if (cube[pos] == '0') {
+            cube[pos] = '1';
+        } else if (cube[pos] == '1') {
+            cube[pos] = '0';
+        }
+    }
+}
+
+/// Is the cover a tautology / empty in the trivial syntactic sense?
+std::optional<bool> trivial_constant(const cover& c) {
+    if (c.fanins.empty()) { return constant_of(c); }
+    if (c.cubes.empty()) { return c.complemented; }
+    for (const std::string& cube : c.cubes) {
+        if (cube.find_first_not_of('-') == std::string::npos) {
+            // one all-dash cube: onset (or off-set) is everything
+            return !c.complemented;
+        }
+    }
+    return std::nullopt;
+}
+
+/// Identity/inverter detection on a single-fanin cover.
+std::optional<bool> wire_polarity(const cover& c) {
+    if (c.fanins.size() != 1 || c.cubes.size() != 1) { return std::nullopt; }
+    const char lit = c.cubes[0][0];
+    if (lit == '-') { return std::nullopt; } // constant, handled elsewhere
+    const bool identity = (lit == '1') != c.complemented;
+    return !identity; // returns "inverted?"
+}
+
+} // namespace
+
+network sweep_network(const network& net, sweep_stats* stats) {
+    sweep_stats local;
+    local.nodes_before = net.nodes().size();
+    local.latches_before = net.num_latches();
+
+    // mutable covers indexed like net.nodes(); driver map per signal
+    std::vector<cover> covers;
+    covers.reserve(net.nodes().size());
+    std::unordered_map<std::uint32_t, std::size_t> driver;
+    for (const logic_node& n : net.nodes()) {
+        cover c;
+        c.fanins = n.fanins;
+        c.complemented = n.complemented;
+        for (const sop_cube& cube : n.cubes) {
+            std::string row;
+            for (const std::uint8_t lit : cube.literals) {
+                row.push_back(lit == 0 ? '0' : lit == 1 ? '1' : '-');
+            }
+            c.cubes.push_back(std::move(row));
+        }
+        driver[n.output] = covers.size();
+        covers.push_back(std::move(c));
+    }
+
+    std::vector<alias> resolved(net.num_signals());
+    // latch outputs and primary inputs stay themselves; everything else
+    // starts as self and may become a constant or a wire alias
+    const auto resolve = [&](std::uint32_t signal) {
+        // path-compress wire chains, composing polarity
+        alias a = resolved[signal];
+        if (a.k != alias::kind::wire) { return a; }
+        bool inv = a.inverted;
+        std::uint32_t src = a.source;
+        while (resolved[src].k == alias::kind::wire) {
+            inv ^= resolved[src].inverted;
+            src = resolved[src].source;
+        }
+        if (resolved[src].k == alias::kind::constant) {
+            alias c;
+            c.k = alias::kind::constant;
+            c.value = resolved[src].value != inv;
+            return c;
+        }
+        alias w;
+        w.k = alias::kind::wire;
+        w.source = src;
+        w.inverted = inv;
+        return w;
+    };
+
+    // fixpoint: substitute aliases/constants into covers until stable
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (auto& [signal, index] : driver) {
+            if (resolved[signal].k != alias::kind::self) { continue; }
+            cover& c = covers[index];
+            // substitute resolved fanins
+            for (std::size_t pos = 0; pos < c.fanins.size();) {
+                const alias a = resolve(c.fanins[pos]);
+                if (a.k == alias::kind::constant) {
+                    substitute_constant(c, pos, a.value);
+                    ++local.constants_propagated;
+                    changed = true;
+                    continue; // same pos now holds the next column
+                }
+                if (a.k == alias::kind::wire) {
+                    if (a.inverted) { flip_column(c, pos); }
+                    c.fanins[pos] = a.source;
+                    changed = true;
+                }
+                ++pos;
+            }
+            // collapse duplicate fanin columns? (rare; skip — semantics fine)
+            if (const auto constant = trivial_constant(c)) {
+                resolved[signal].k = alias::kind::constant;
+                resolved[signal].value = *constant;
+                changed = true;
+                continue;
+            }
+            if (const auto inverted = wire_polarity(c)) {
+                resolved[signal].k = alias::kind::wire;
+                resolved[signal].source = c.fanins[0];
+                resolved[signal].inverted = *inverted;
+                ++local.wires_collapsed;
+                changed = true;
+            }
+        }
+    }
+
+    // liveness: primary outputs observe signals; latches observe their data
+    // input only if the latch output is observed
+    std::vector<char> live(net.num_signals(), 0);
+    std::unordered_map<std::uint32_t, const latch*> latch_of;
+    for (const latch& l : net.latches()) { latch_of[l.output] = &l; }
+    std::vector<std::uint32_t> stack;
+    const auto mark = [&](std::uint32_t signal) {
+        const alias a = resolve(signal);
+        const std::uint32_t base =
+            a.k == alias::kind::wire ? a.source : signal;
+        if (a.k != alias::kind::constant && !live[base]) {
+            live[base] = 1;
+            stack.push_back(base);
+        }
+    };
+    for (const std::uint32_t o : net.outputs()) { mark(o); }
+    while (!stack.empty()) {
+        const std::uint32_t s = stack.back();
+        stack.pop_back();
+        if (const auto it = latch_of.find(s); it != latch_of.end()) {
+            mark(it->second->input);
+            continue;
+        }
+        if (const auto it = driver.find(s); it != driver.end()) {
+            for (const std::uint32_t f : covers[it->second].fanins) {
+                mark(f);
+            }
+        }
+    }
+
+    // rebuild; primary outputs keep their names, so an output whose signal
+    // became a constant or an alias gets a fresh buffer/constant node
+    network out(net.name());
+    for (const std::uint32_t i : net.inputs()) {
+        out.add_input(net.signal_name(i));
+    }
+    for (const latch& l : net.latches()) {
+        if (!live[l.output]) { continue; }
+        const alias a = resolve(l.input);
+        if (a.k == alias::kind::constant) {
+            // constant next-state: keep as a one-cube node for clarity
+            const std::string cname = net.signal_name(l.input) + "$swc";
+            out.add_node(cname, {}, a.value ? std::vector<std::string>{""}
+                                            : std::vector<std::string>{});
+            out.add_latch(cname, net.signal_name(l.output), l.init);
+        } else if (a.k == alias::kind::wire) {
+            if (a.inverted) {
+                const std::string iname = net.signal_name(a.source) + "$swinv";
+                if (!out.find_signal(iname).has_value()) {
+                    out.add_node(iname, {net.signal_name(a.source)}, {"0"});
+                }
+                out.add_latch(iname, net.signal_name(l.output), l.init);
+            } else {
+                out.add_latch(net.signal_name(a.source),
+                              net.signal_name(l.output), l.init);
+            }
+        } else {
+            out.add_latch(net.signal_name(l.input),
+                          net.signal_name(l.output), l.init);
+        }
+    }
+    for (const auto& [signal, index] : driver) {
+        if (!live[signal] || resolved[signal].k != alias::kind::self) {
+            continue;
+        }
+        const cover& c = covers[index];
+        std::vector<std::string> fanins;
+        fanins.reserve(c.fanins.size());
+        for (const std::uint32_t f : c.fanins) {
+            fanins.push_back(net.signal_name(f));
+        }
+        out.add_node(net.signal_name(signal), fanins, c.cubes,
+                     c.complemented);
+        ++local.nodes_after;
+    }
+    for (const std::uint32_t o : net.outputs()) {
+        const std::string& name = net.signal_name(o);
+        const alias a = resolve(o);
+        const bool is_latch_out = latch_of.count(o) != 0;
+        const bool is_input =
+            std::find(net.inputs().begin(), net.inputs().end(), o) !=
+            net.inputs().end();
+        if (a.k == alias::kind::constant) {
+            out.add_node(name, {},
+                         a.value ? std::vector<std::string>{""}
+                                 : std::vector<std::string>{});
+            ++local.nodes_after;
+        } else if (a.k == alias::kind::wire) {
+            out.add_node(name, {net.signal_name(a.source)},
+                         {a.inverted ? "0" : "1"});
+            ++local.nodes_after;
+        } else if (!is_latch_out && !is_input &&
+                   driver.find(o) == driver.end()) {
+            assert(false && "sweep: undriven primary output");
+        }
+        out.add_output(name);
+    }
+    local.latches_after = out.num_latches();
+    out.validate();
+    if (stats != nullptr) { *stats = local; }
+    return out;
+}
+
+} // namespace leq

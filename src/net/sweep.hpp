@@ -1,0 +1,35 @@
+/// \file sweep.hpp
+/// \brief Combinational netlist cleanup: constant propagation, buffer and
+/// inverter collapsing, and dead-logic removal.
+///
+/// The composition and encoding steps of the synthesis loop are deliberately
+/// naive netlist builders — they insert pass-through buffers for every
+/// u/v wire and per-bit covers straight off the FSM cubes.  This pass cleans
+/// the result without touching the sequential behaviour: primary outputs
+/// keep their names and functions, latches keep their init values, and
+/// latches whose output no primary output transitively observes are
+/// removed along with their cone.
+#pragma once
+
+#include "net/network.hpp"
+
+#include <cstddef>
+
+namespace leq {
+
+struct sweep_stats {
+    std::size_t nodes_before = 0;
+    std::size_t nodes_after = 0;
+    std::size_t latches_before = 0;
+    std::size_t latches_after = 0;
+    std::size_t constants_propagated = 0;
+    std::size_t wires_collapsed = 0; ///< buffers + inverters folded away
+};
+
+/// Sweep `net`; IO behaviour is preserved exactly (same input/output ports,
+/// same output streams on every stimulus).  `stats`, when non-null, reports
+/// what was removed.
+[[nodiscard]] network sweep_network(const network& net,
+                                    sweep_stats* stats = nullptr);
+
+} // namespace leq

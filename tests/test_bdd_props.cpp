@@ -1,0 +1,147 @@
+/// \file test_bdd_props.cpp
+/// \brief Property sweeps over the BDD package: algebraic identities that
+/// must hold for arbitrary functions, checked on seeded random instances.
+
+#include "bdd/bdd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace leq {
+namespace {
+
+constexpr std::uint32_t nvars = 8;
+
+bdd random_function(bdd_manager& mgr, std::uint32_t seed, std::size_t ops = 60) {
+    std::mt19937 rng(seed);
+    std::uniform_int_distribution<std::uint32_t> pick(0, nvars - 1);
+    bdd f = mgr.literal(pick(rng), (rng() & 1u) != 0);
+    for (std::size_t k = 0; k < ops; ++k) {
+        const bdd lit = mgr.literal(pick(rng), (rng() & 1u) != 0);
+        switch (rng() % 3) {
+            case 0: f = f & lit; break;
+            case 1: f = f | lit; break;
+            default: f = f ^ lit; break;
+        }
+    }
+    return f;
+}
+
+class bdd_props : public ::testing::TestWithParam<std::uint32_t> {
+protected:
+    bdd_manager mgr{nvars};
+    bdd f = random_function(mgr, GetParam());
+    bdd g = random_function(mgr, GetParam() + 100);
+    bdd h = random_function(mgr, GetParam() + 200);
+    bdd cube = mgr.cube({1, 3, 5});
+};
+
+TEST_P(bdd_props, boolean_algebra) {
+    // absorption, distribution, de Morgan — at the canonical-node level
+    EXPECT_EQ(f & (f | g), f);
+    EXPECT_EQ(f | (f & g), f);
+    EXPECT_EQ(f & (g | h), (f & g) | (f & h));
+    EXPECT_EQ(!(f & g), !f | !g);
+    EXPECT_EQ(!(f | g), !f & !g);
+    EXPECT_EQ(f ^ g, (f & !g) | (!f & g));
+    EXPECT_EQ(mgr.ite(f, g, h), (f & g) | (!f & h));
+}
+
+TEST_P(bdd_props, implication_and_containment) {
+    EXPECT_TRUE((f & g).leq(f));
+    EXPECT_TRUE(f.leq(f | g));
+    EXPECT_EQ(f.implies(g).is_one(), f.leq(g));
+    EXPECT_EQ(f.iff(f), mgr.one());
+}
+
+TEST_P(bdd_props, quantifier_identities) {
+    // duality, monotonicity, distribution laws
+    EXPECT_EQ(mgr.exists(f, cube), !mgr.forall(!f, cube));
+    EXPECT_TRUE(mgr.forall(f, cube).leq(f));
+    EXPECT_TRUE(f.leq(mgr.exists(f, cube)));
+    EXPECT_EQ(mgr.exists(f | g, cube),
+              mgr.exists(f, cube) | mgr.exists(g, cube));
+    EXPECT_EQ(mgr.forall(f & g, cube),
+              mgr.forall(f, cube) & mgr.forall(g, cube));
+    // quantifying twice is idempotent
+    EXPECT_EQ(mgr.exists(mgr.exists(f, cube), cube), mgr.exists(f, cube));
+}
+
+TEST_P(bdd_props, and_exists_is_fused_relational_product) {
+    EXPECT_EQ(mgr.and_exists(f, g, cube), mgr.exists(f & g, cube));
+    // special cases
+    EXPECT_EQ(mgr.and_exists(f, mgr.one(), cube), mgr.exists(f, cube));
+    EXPECT_EQ(mgr.and_exists(f, mgr.zero(), cube), mgr.zero());
+}
+
+TEST_P(bdd_props, cofactor_shannon_expansion) {
+    const bdd x = mgr.var(2);
+    const bdd f1 = mgr.cofactor(f, x);
+    const bdd f0 = mgr.cofactor(f, !x);
+    EXPECT_EQ(f, (x & f1) | (!x & f0));
+    // cofactors are independent of the cofactored variable
+    for (const std::uint32_t v : mgr.support(f1)) { EXPECT_NE(v, 2u); }
+}
+
+TEST_P(bdd_props, constrain_and_restrict_image_property) {
+    if (g.is_zero()) { GTEST_SKIP(); }
+    // both generalized cofactors agree with f on the care set
+    EXPECT_EQ(mgr.constrain(f, g) & g, f & g);
+    EXPECT_EQ(mgr.restrict_dc(f, g) & g, f & g);
+    // constrain by one is the identity
+    EXPECT_EQ(mgr.constrain(f, mgr.one()), f);
+    EXPECT_EQ(mgr.restrict_dc(f, mgr.one()), f);
+}
+
+TEST_P(bdd_props, sat_count_inclusion_exclusion) {
+    const double cf = mgr.sat_count(f, nvars);
+    const double cg = mgr.sat_count(g, nvars);
+    const double cand = mgr.sat_count(f & g, nvars);
+    const double cor = mgr.sat_count(f | g, nvars);
+    EXPECT_EQ(cf + cg, cand + cor);
+    EXPECT_EQ(mgr.sat_count(!f, nvars), 256.0 - cf);
+}
+
+TEST_P(bdd_props, support_is_tight) {
+    // every support variable actually matters; every other one does not
+    const auto support = mgr.support(f);
+    for (std::uint32_t v = 0; v < nvars; ++v) {
+        const bdd pos = mgr.cofactor(f, mgr.var(v));
+        const bdd neg = mgr.cofactor(f, mgr.nvar(v));
+        const bool in_support =
+            std::find(support.begin(), support.end(), v) != support.end();
+        EXPECT_EQ(pos != neg, in_support) << "var " << v;
+    }
+}
+
+TEST_P(bdd_props, pick_cube_satisfies) {
+    if (f.is_zero()) { GTEST_SKIP(); }
+    const bdd cube_of_f = mgr.pick_cube(f);
+    EXPECT_TRUE(cube_of_f.leq(f));
+    EXPECT_FALSE(cube_of_f.is_zero());
+}
+
+TEST_P(bdd_props, permute_round_trip_and_composition) {
+    std::vector<std::uint32_t> swap02(nvars);
+    for (std::uint32_t v = 0; v < nvars; ++v) { swap02[v] = v; }
+    std::swap(swap02[0], swap02[2]);
+    EXPECT_EQ(mgr.permute(mgr.permute(f, swap02), swap02), f);
+    // permute == compose_vector with variable substitutions
+    EXPECT_EQ(mgr.permute(f, swap02),
+              mgr.compose_vector(f, {{0, mgr.var(2)}, {2, mgr.var(0)}}));
+}
+
+TEST_P(bdd_props, compose_inverts_expansion) {
+    // f == ite(x, f|x=1, f|x=0) composed back with anything for x when f
+    // does not depend on x after cofactoring
+    const bdd f1 = mgr.cofactor(f, mgr.var(4));
+    EXPECT_EQ(mgr.compose(f1, 4, g), f1); // x4 absent from f1
+    // compose with the variable itself is the identity
+    EXPECT_EQ(mgr.compose(f, 4, mgr.var(4)), f);
+}
+
+INSTANTIATE_TEST_SUITE_P(seeds, bdd_props, ::testing::Range(1u, 16u));
+
+} // namespace
+} // namespace leq

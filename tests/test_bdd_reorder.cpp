@@ -1,0 +1,305 @@
+/// \file test_bdd_reorder.cpp
+/// \brief Dynamic variable reordering: semantics preservation, handle
+/// stability, canonicity after reordering, and size behaviour on functions
+/// with known good/bad orders.
+
+#include "bdd/bdd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+#include <vector>
+
+namespace leq {
+namespace {
+
+/// Build a pseudo-random function over `nvars` variables as an XOR/AND/OR
+/// mix driven by `seed`; deterministic across runs.
+bdd random_function(bdd_manager& mgr, std::uint32_t nvars, std::uint32_t seed,
+                    std::size_t ops = 40) {
+    std::mt19937 rng(seed);
+    std::uniform_int_distribution<std::uint32_t> pick_var(0, nvars - 1);
+    std::uniform_int_distribution<int> pick_op(0, 2);
+    bdd f = mgr.literal(pick_var(rng), (rng() & 1u) != 0);
+    for (std::size_t k = 0; k < ops; ++k) {
+        const bdd lit = mgr.literal(pick_var(rng), (rng() & 1u) != 0);
+        switch (pick_op(rng)) {
+            case 0: f = f & lit; break;
+            case 1: f = f | lit; break;
+            default: f = f ^ lit; break;
+        }
+    }
+    return f;
+}
+
+std::vector<std::vector<bool>> random_assignments(std::uint32_t nvars,
+                                                  std::size_t count,
+                                                  std::uint32_t seed) {
+    std::mt19937 rng(seed);
+    std::vector<std::vector<bool>> out(count, std::vector<bool>(nvars));
+    for (auto& a : out) {
+        for (std::uint32_t v = 0; v < nvars; ++v) { a[v] = (rng() & 1u) != 0; }
+    }
+    return out;
+}
+
+/// f = x0&x1 | x2&x3 | ... : linear-size in the paired order, exponential in
+/// the order that lists all even variables before all odd ones.
+bdd chained_conjunctions(bdd_manager& mgr, std::size_t pairs) {
+    bdd f = mgr.zero();
+    for (std::size_t p = 0; p < pairs; ++p) {
+        f |= mgr.var(static_cast<std::uint32_t>(2 * p)) &
+             mgr.var(static_cast<std::uint32_t>(2 * p + 1));
+    }
+    return f;
+}
+
+// ---------------------------------------------------------------------------
+// adjacent building blocks through reorder_to
+// ---------------------------------------------------------------------------
+
+TEST(bdd_reorder, reorder_to_identity_is_noop_semantically) {
+    bdd_manager mgr(6);
+    const bdd f = random_function(mgr, 6, 7);
+    const std::size_t size_before = mgr.dag_size(f);
+    std::vector<std::uint32_t> order(6);
+    std::iota(order.begin(), order.end(), 0u);
+    mgr.reorder_to(order);
+    mgr.check_consistency();
+    EXPECT_EQ(mgr.dag_size(f), size_before);
+    for (const auto& a : random_assignments(6, 64, 11)) {
+        EXPECT_EQ(mgr.eval(f, a), mgr.eval(f, a));
+    }
+}
+
+TEST(bdd_reorder, reverse_order_preserves_semantics) {
+    bdd_manager mgr(8);
+    const bdd f = random_function(mgr, 8, 3);
+    const bdd g = random_function(mgr, 8, 4);
+    const auto assignments = random_assignments(8, 200, 5);
+    std::vector<bool> f_vals, g_vals;
+    for (const auto& a : assignments) {
+        f_vals.push_back(mgr.eval(f, a));
+        g_vals.push_back(mgr.eval(g, a));
+    }
+    std::vector<std::uint32_t> order(8);
+    std::iota(order.begin(), order.end(), 0u);
+    std::reverse(order.begin(), order.end());
+    mgr.reorder_to(order);
+    mgr.check_consistency();
+    for (std::uint32_t v = 0; v < 8; ++v) {
+        EXPECT_EQ(mgr.level_of(v), 7 - v);
+    }
+    for (std::size_t k = 0; k < assignments.size(); ++k) {
+        EXPECT_EQ(mgr.eval(f, assignments[k]), f_vals[k]);
+        EXPECT_EQ(mgr.eval(g, assignments[k]), g_vals[k]);
+    }
+}
+
+TEST(bdd_reorder, reorder_to_rejects_bad_permutations) {
+    bdd_manager mgr(4);
+    EXPECT_THROW(mgr.reorder_to({0, 1, 2}), std::invalid_argument);
+    EXPECT_THROW(mgr.reorder_to({0, 1, 2, 2}), std::invalid_argument);
+    EXPECT_THROW(mgr.reorder_to({0, 1, 2, 9}), std::invalid_argument);
+}
+
+TEST(bdd_reorder, handles_remain_canonical_after_reorder) {
+    bdd_manager mgr(8);
+    const bdd f = random_function(mgr, 8, 21);
+    const bdd g = random_function(mgr, 8, 22);
+    const bdd fg = f & g;
+    std::vector<std::uint32_t> order = {3, 1, 7, 0, 6, 2, 5, 4};
+    mgr.reorder_to(order);
+    mgr.check_consistency();
+    // recomputing the conjunction must give the same node: canonicity holds
+    EXPECT_EQ(f & g, fg);
+    // de Morgan at the node level
+    EXPECT_EQ(!(f & g), (!f) | (!g));
+}
+
+TEST(bdd_reorder, chained_conjunctions_known_sizes) {
+    // 8 variables: x0&x1 | x2&x3 | x4&x5 | x6&x7
+    bdd_manager mgr(8);
+    const bdd f = chained_conjunctions(mgr, 4);
+    const std::size_t paired = mgr.dag_size(f);
+    // worst-case order: evens above odds -> exponential blowup
+    mgr.reorder_to({0, 2, 4, 6, 1, 3, 5, 7});
+    const std::size_t split = mgr.dag_size(f);
+    EXPECT_GT(split, paired);
+    // back to the paired order restores the linear size
+    mgr.reorder_to({0, 1, 2, 3, 4, 5, 6, 7});
+    EXPECT_EQ(mgr.dag_size(f), paired);
+    mgr.check_consistency();
+}
+
+// ---------------------------------------------------------------------------
+// sifting
+// ---------------------------------------------------------------------------
+
+TEST(bdd_reorder, sifting_recovers_paired_order_size) {
+    bdd_manager mgr(12);
+    // create in the bad order: f over evens-then-odds levels
+    mgr.reorder_to({0, 2, 4, 6, 8, 10, 1, 3, 5, 7, 9, 11});
+    const bdd f = chained_conjunctions(mgr, 6);
+    const std::size_t bad = mgr.dag_size(f);
+    mgr.reorder_sift();
+    mgr.check_consistency();
+    const std::size_t sifted = mgr.dag_size(f);
+    EXPECT_LT(sifted, bad);
+    // optimal size for n pairs is 2n inner nodes + 2 constants
+    EXPECT_LE(sifted, 2 * 6 + 2);
+}
+
+TEST(bdd_reorder, sifting_preserves_semantics_and_handles) {
+    bdd_manager mgr(10);
+    std::vector<bdd> funcs;
+    for (std::uint32_t s = 0; s < 6; ++s) {
+        funcs.push_back(random_function(mgr, 10, 100 + s));
+    }
+    const auto assignments = random_assignments(10, 150, 9);
+    std::vector<std::vector<bool>> before(funcs.size());
+    for (std::size_t k = 0; k < funcs.size(); ++k) {
+        for (const auto& a : assignments) {
+            before[k].push_back(mgr.eval(funcs[k], a));
+        }
+    }
+    mgr.reorder_sift();
+    mgr.check_consistency();
+    for (std::size_t k = 0; k < funcs.size(); ++k) {
+        std::size_t j = 0;
+        for (const auto& a : assignments) {
+            EXPECT_EQ(mgr.eval(funcs[k], a), before[k][j++]);
+        }
+    }
+}
+
+TEST(bdd_reorder, sifting_twice_does_not_grow) {
+    bdd_manager mgr(10);
+    const bdd f = random_function(mgr, 10, 55, 120);
+    const std::size_t first = mgr.reorder_sift();
+    const std::size_t second = mgr.reorder_sift();
+    EXPECT_LE(second, first);
+    mgr.check_consistency();
+    EXPECT_FALSE(f.is_const()); // handle still alive and usable
+}
+
+TEST(bdd_reorder, sift_one_moves_variable_to_better_level) {
+    bdd_manager mgr(8);
+    mgr.reorder_to({1, 2, 3, 4, 5, 6, 7, 0}); // x0 at the bottom
+    // f couples x0 tightly with x1: x0 wants to sit next to x1
+    bdd f = (mgr.var(0) & mgr.var(1)) | (mgr.var(2) & mgr.var(3)) |
+            (mgr.var(4) & mgr.var(5)) | (mgr.var(6) & mgr.var(7));
+    const std::size_t before = mgr.dag_size(f);
+    mgr.sift_one(0);
+    mgr.check_consistency();
+    EXPECT_LT(mgr.dag_size(f), before);
+}
+
+TEST(bdd_reorder, operations_work_after_reordering) {
+    bdd_manager mgr(8);
+    const bdd f = random_function(mgr, 8, 77);
+    const bdd g = random_function(mgr, 8, 78);
+    mgr.reorder_sift();
+    // quantification, permutation and relational product still behave
+    const bdd cube = mgr.cube({0, 1});
+    EXPECT_EQ(mgr.and_exists(f, g, cube), mgr.exists(f & g, cube));
+    EXPECT_EQ(mgr.exists(f, cube) | mgr.exists(g, cube),
+              mgr.exists(f | g, cube));
+    std::vector<std::uint32_t> perm(8);
+    std::iota(perm.begin(), perm.end(), 0u);
+    std::swap(perm[2], perm[5]);
+    const bdd pf = mgr.permute(f, perm);
+    EXPECT_EQ(mgr.permute(pf, perm), f);
+}
+
+TEST(bdd_reorder, gc_after_reorder_reclaims_garbage) {
+    bdd_manager mgr(10);
+    {
+        const bdd junk = random_function(mgr, 10, 500, 300);
+        (void)junk;
+    }
+    const bdd keep = random_function(mgr, 10, 501, 50);
+    mgr.reorder_sift();
+    const std::size_t live = mgr.live_node_count();
+    EXPECT_GE(live, mgr.dag_size(keep) - 2);
+    mgr.check_consistency();
+}
+
+TEST(bdd_reorder, empty_manager_and_constants_are_safe) {
+    bdd_manager mgr(0);
+    EXPECT_NO_THROW(mgr.reorder_sift());
+    bdd_manager mgr2(3);
+    const bdd one = mgr2.one();
+    const bdd zero = mgr2.zero();
+    mgr2.reorder_sift();
+    EXPECT_TRUE(one.is_one());
+    EXPECT_TRUE(zero.is_zero());
+}
+
+TEST(bdd_reorder, stats_count_reorder_calls) {
+    bdd_manager mgr(6);
+    const bdd f = random_function(mgr, 6, 1);
+    (void)f;
+    const std::size_t before = mgr.stats().reorderings;
+    mgr.reorder_sift();
+    mgr.sift_one(2);
+    EXPECT_EQ(mgr.stats().reorderings, before + 2);
+}
+
+// ---------------------------------------------------------------------------
+// property sweep: random functions, random target orders
+// ---------------------------------------------------------------------------
+
+class reorder_property : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(reorder_property, random_reorder_preserves_truth_table) {
+    const std::uint32_t seed = GetParam();
+    constexpr std::uint32_t nvars = 7;
+    bdd_manager mgr(nvars);
+    const bdd f = random_function(mgr, nvars, seed, 60);
+    const bdd g = random_function(mgr, nvars, seed + 1000, 60);
+    const bdd h = mgr.ite(f, g, f ^ g);
+
+    // record full truth tables (128 rows)
+    std::vector<bool> tt_f, tt_g, tt_h;
+    std::vector<bool> a(nvars);
+    for (std::uint32_t m = 0; m < (1u << nvars); ++m) {
+        for (std::uint32_t v = 0; v < nvars; ++v) { a[v] = (m >> v) & 1u; }
+        tt_f.push_back(mgr.eval(f, a));
+        tt_g.push_back(mgr.eval(g, a));
+        tt_h.push_back(mgr.eval(h, a));
+    }
+
+    std::mt19937 rng(seed ^ 0xdead);
+    std::vector<std::uint32_t> order(nvars);
+    std::iota(order.begin(), order.end(), 0u);
+    std::shuffle(order.begin(), order.end(), rng);
+    mgr.reorder_to(order);
+    mgr.check_consistency();
+    for (std::uint32_t v = 0; v < nvars; ++v) {
+        EXPECT_EQ(mgr.var_at_level(mgr.level_of(v)), v);
+    }
+
+    for (std::uint32_t m = 0; m < (1u << nvars); ++m) {
+        for (std::uint32_t v = 0; v < nvars; ++v) { a[v] = (m >> v) & 1u; }
+        ASSERT_EQ(mgr.eval(f, a), tt_f[m]) << "seed " << seed << " m " << m;
+        ASSERT_EQ(mgr.eval(g, a), tt_g[m]);
+        ASSERT_EQ(mgr.eval(h, a), tt_h[m]);
+    }
+
+    // then sift on top of the shuffled order
+    mgr.reorder_sift();
+    mgr.check_consistency();
+    for (std::uint32_t m = 0; m < (1u << nvars); ++m) {
+        for (std::uint32_t v = 0; v < nvars; ++v) { a[v] = (m >> v) & 1u; }
+        ASSERT_EQ(mgr.eval(h, a), tt_h[m]);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(seeds, reorder_property,
+                         ::testing::Range(1u, 13u));
+
+} // namespace
+} // namespace leq

@@ -1,0 +1,394 @@
+/// \file test_net.cpp
+/// \brief Tests for networks, BLIF I/O, BDD sweeps, latch splitting and the
+/// circuit generators.
+
+#include "net/blif.hpp"
+#include "net/generator.hpp"
+#include "net/latch_split.hpp"
+#include "net/netbdd.hpp"
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+namespace {
+
+using namespace leq;
+
+// ---------------------------------------------------------------------------
+// network structure
+// ---------------------------------------------------------------------------
+
+TEST(network_basic, paper_example_shape) {
+    const network net = make_paper_example();
+    EXPECT_EQ(net.num_inputs(), 1u);
+    EXPECT_EQ(net.num_outputs(), 1u);
+    EXPECT_EQ(net.num_latches(), 2u);
+    EXPECT_EQ(net.initial_state(), (std::vector<bool>{false, false}));
+}
+
+TEST(network_basic, simulate_paper_example) {
+    // T1 = i & cs2, T2 = !i | cs1, o = cs1 & cs2; from (0,0) under i=0 the
+    // next state is (0,1) and the output is 0 (paper, Figure 3).
+    const network net = make_paper_example();
+    const auto r = net.simulate({false, false}, {false});
+    EXPECT_EQ(r.outputs, (std::vector<bool>{false}));
+    EXPECT_EQ(r.next_state, (std::vector<bool>{false, true}));
+    // from (1,1): o = 1
+    const auto r2 = net.simulate({true, true}, {false});
+    EXPECT_EQ(r2.outputs, (std::vector<bool>{true}));
+}
+
+TEST(network_basic, validate_rejects_multiple_drivers) {
+    network net;
+    net.add_input("a");
+    net.add_output("y");
+    net.add_node("y", {"a"}, {"1"});
+    EXPECT_THROW(net.add_node("y", {"a"}, {"0"}), std::invalid_argument);
+}
+
+TEST(network_basic, validate_rejects_undriven_output) {
+    network net;
+    net.add_input("a");
+    net.add_output("y"); // y never driven
+    EXPECT_THROW(net.validate(), std::runtime_error);
+}
+
+TEST(network_basic, validate_rejects_combinational_cycle) {
+    network net;
+    net.add_input("a");
+    net.add_output("y");
+    net.add_node("y", {"z"}, {"1"});
+    net.add_node("z", {"y"}, {"1"});
+    EXPECT_THROW(net.validate(), std::runtime_error);
+}
+
+TEST(network_basic, topo_order_respects_dependencies) {
+    network net;
+    net.add_input("a");
+    net.add_output("y");
+    net.add_node("m", {"a"}, {"1"});
+    net.add_node("y", {"m"}, {"0"}, true);
+    const auto order = net.topo_order();
+    std::size_t pos_a = 0, pos_m = 0, pos_y = 0;
+    for (std::size_t k = 0; k < order.size(); ++k) {
+        if (net.signal_name(order[k]) == "a") { pos_a = k; }
+        if (net.signal_name(order[k]) == "m") { pos_m = k; }
+        if (net.signal_name(order[k]) == "y") { pos_y = k; }
+    }
+    EXPECT_LT(pos_a, pos_m);
+    EXPECT_LT(pos_m, pos_y);
+}
+
+TEST(network_basic, complemented_cover_is_offset) {
+    network net;
+    net.add_input("a");
+    net.add_input("b");
+    net.add_output("y");
+    // off-set {11} => y = !(a & b)
+    net.add_node("y", {"a", "b"}, {"11"}, true);
+    EXPECT_FALSE(net.simulate({}, {true, true}).outputs[0]);
+    EXPECT_TRUE(net.simulate({}, {true, false}).outputs[0]);
+    EXPECT_TRUE(net.simulate({}, {false, false}).outputs[0]);
+}
+
+// ---------------------------------------------------------------------------
+// BLIF
+// ---------------------------------------------------------------------------
+
+TEST(blif_io, parse_minimal_model) {
+    const std::string text = R"(
+# a comment
+.model toy
+.inputs a b
+.outputs y
+.latch ny q 1
+.names a b t
+11 1
+.names t q ny
+1- 1
+-1 1
+.names t y
+0 1
+.end
+)";
+    const network net = read_blif_string(text);
+    EXPECT_EQ(net.name(), "toy");
+    EXPECT_EQ(net.num_inputs(), 2u);
+    EXPECT_EQ(net.num_outputs(), 1u);
+    EXPECT_EQ(net.num_latches(), 1u);
+    EXPECT_TRUE(net.latches()[0].init);
+    // y = !(a&b)
+    EXPECT_TRUE(net.simulate({false}, {true, false}).outputs[0]);
+    EXPECT_FALSE(net.simulate({false}, {true, true}).outputs[0]);
+}
+
+TEST(blif_io, line_continuation_and_constants) {
+    const std::string text =
+        ".model k\n.inputs a\n.outputs y z\n"
+        ".names a \\\ny\n1 1\n"
+        ".names z\n1\n"
+        ".end\n";
+    const network net = read_blif_string(text);
+    EXPECT_TRUE(net.simulate({}, {true}).outputs[0]);
+    EXPECT_TRUE(net.simulate({}, {false}).outputs[1]); // constant 1
+}
+
+TEST(blif_io, rejects_mixed_onset_offset) {
+    const std::string text =
+        ".model bad\n.inputs a\n.outputs y\n.names a y\n1 1\n0 0\n.end\n";
+    EXPECT_THROW(read_blif_string(text), std::runtime_error);
+}
+
+TEST(blif_io, rejects_bad_cube_width) {
+    const std::string text =
+        ".model bad\n.inputs a b\n.outputs y\n.names a b y\n1 1\n.end\n";
+    EXPECT_THROW(read_blif_string(text), std::runtime_error);
+}
+
+TEST(blif_io, round_trip_preserves_behaviour) {
+    const network original = make_traffic_controller();
+    const network reparsed = read_blif_string(write_blif_string(original));
+    EXPECT_EQ(reparsed.num_inputs(), original.num_inputs());
+    EXPECT_EQ(reparsed.num_outputs(), original.num_outputs());
+    EXPECT_EQ(reparsed.num_latches(), original.num_latches());
+    // behavioural equivalence on random stimulus
+    std::mt19937 rng(7);
+    std::vector<bool> s1 = original.initial_state();
+    std::vector<bool> s2 = reparsed.initial_state();
+    EXPECT_EQ(s1, s2);
+    for (int step = 0; step < 200; ++step) {
+        std::vector<bool> in(original.num_inputs());
+        for (auto&& b : in) { b = (rng() & 1) != 0; }
+        const auto r1 = original.simulate(s1, in);
+        const auto r2 = reparsed.simulate(s2, in);
+        ASSERT_EQ(r1.outputs, r2.outputs);
+        s1 = r1.next_state;
+        s2 = r2.next_state;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// BDD sweep vs simulator (property test over circuit families)
+// ---------------------------------------------------------------------------
+
+class netbdd_property : public ::testing::TestWithParam<int> {};
+
+network circuit_for(int id) {
+    switch (id) {
+    case 0: return make_paper_example();
+    case 1: return make_counter(4);
+    case 2: return make_lfsr(5, {2});
+    case 3: return make_shift_xor(4);
+    case 4: return make_traffic_controller();
+    default: {
+        random_spec spec;
+        spec.num_inputs = 3;
+        spec.num_outputs = 2;
+        spec.num_latches = 4;
+        spec.seed = static_cast<std::uint32_t>(100 + id);
+        return make_random_sequential(spec);
+    }
+    }
+}
+
+TEST_P(netbdd_property, bdd_sweep_matches_simulator) {
+    const network net = circuit_for(GetParam());
+    bdd_manager mgr(
+        static_cast<std::uint32_t>(net.num_inputs() + net.num_latches()));
+    std::vector<std::uint32_t> in_vars, st_vars;
+    for (std::size_t k = 0; k < net.num_inputs(); ++k) {
+        in_vars.push_back(static_cast<std::uint32_t>(k));
+    }
+    for (std::size_t k = 0; k < net.num_latches(); ++k) {
+        st_vars.push_back(static_cast<std::uint32_t>(net.num_inputs() + k));
+    }
+    const net_bdds fns = build_net_bdds(mgr, net, in_vars, st_vars);
+    ASSERT_EQ(fns.outputs.size(), net.num_outputs());
+    ASSERT_EQ(fns.next_state.size(), net.num_latches());
+
+    std::mt19937 rng(42 + GetParam());
+    for (int trial = 0; trial < 100; ++trial) {
+        std::vector<bool> in(net.num_inputs()), st(net.num_latches());
+        for (auto&& b : in) { b = (rng() & 1) != 0; }
+        for (auto&& b : st) { b = (rng() & 1) != 0; }
+        const auto ref = net.simulate(st, in);
+        std::vector<bool> assignment(mgr.num_vars());
+        for (std::size_t k = 0; k < in.size(); ++k) {
+            assignment[in_vars[k]] = in[k];
+        }
+        for (std::size_t k = 0; k < st.size(); ++k) {
+            assignment[st_vars[k]] = st[k];
+        }
+        for (std::size_t j = 0; j < net.num_outputs(); ++j) {
+            ASSERT_EQ(mgr.eval(fns.outputs[j], assignment), ref.outputs[j])
+                << "output " << j << " circuit " << GetParam();
+        }
+        for (std::size_t k = 0; k < net.num_latches(); ++k) {
+            ASSERT_EQ(mgr.eval(fns.next_state[k], assignment),
+                      ref.next_state[k])
+                << "latch " << k << " circuit " << GetParam();
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(circuit_families, netbdd_property,
+                         ::testing::Range(0, 12));
+
+// ---------------------------------------------------------------------------
+// latch splitting
+// ---------------------------------------------------------------------------
+
+/// Composing F with X_P by wiring u/v positionally must reproduce the
+/// original circuit cycle-by-cycle.
+void check_split_composition(const network& original,
+                             const std::vector<std::size_t>& x_latches) {
+    const split_result split = split_latches(original, x_latches);
+    EXPECT_EQ(split.fixed.num_inputs(),
+              original.num_inputs() + x_latches.size());
+    EXPECT_EQ(split.fixed.num_outputs(),
+              original.num_outputs() + x_latches.size());
+    EXPECT_EQ(split.fixed.num_latches(),
+              original.num_latches() - x_latches.size());
+    EXPECT_EQ(split.part.num_latches(), x_latches.size());
+
+    std::mt19937 rng(5);
+    std::vector<bool> s_orig = original.initial_state();
+    std::vector<bool> s_f = split.fixed.initial_state();
+    std::vector<bool> s_x = split.part.initial_state();
+    for (int step = 0; step < 300; ++step) {
+        std::vector<bool> in(original.num_inputs());
+        for (auto&& b : in) { b = (rng() & 1) != 0; }
+        const auto ref = original.simulate(s_orig, in);
+
+        // F inputs: original inputs then v (X_P outputs = its state)
+        const auto xout = split.part.simulate(s_x, std::vector<bool>(
+            split.part.num_inputs(), false)); // outputs independent of inputs
+        std::vector<bool> f_in = in;
+        for (const bool v : xout.outputs) { f_in.push_back(v); }
+        const auto fres = split.fixed.simulate(s_f, f_in);
+        // original outputs are the first |o| outputs of F
+        for (std::size_t j = 0; j < original.num_outputs(); ++j) {
+            ASSERT_EQ(fres.outputs[j], ref.outputs[j]) << "step " << step;
+        }
+        // X_P consumes u = trailing outputs of F
+        std::vector<bool> u(fres.outputs.end() -
+                                static_cast<std::ptrdiff_t>(x_latches.size()),
+                            fres.outputs.end());
+        const auto xres = split.part.simulate(s_x, u);
+        s_orig = ref.next_state;
+        s_f = fres.next_state;
+        s_x = xres.next_state;
+    }
+}
+
+TEST(latch_split, composition_reproduces_original_counter) {
+    check_split_composition(make_counter(6), {0, 2, 4});
+}
+
+TEST(latch_split, composition_reproduces_original_lfsr) {
+    check_split_composition(make_lfsr(6, {2, 4}), {3, 4, 5});
+}
+
+TEST(latch_split, composition_reproduces_original_random) {
+    random_spec spec;
+    spec.num_inputs = 3;
+    spec.num_outputs = 2;
+    spec.num_latches = 6;
+    spec.seed = 99;
+    check_split_composition(make_random_sequential(spec), {1, 3, 5});
+}
+
+TEST(latch_split, split_last_latches_matches_explicit_indices) {
+    const network net = make_counter(5);
+    const split_result a = split_last_latches(net, 2);
+    const split_result b = split_latches(net, {3, 4});
+    EXPECT_EQ(a.u_names, b.u_names);
+    EXPECT_EQ(a.v_names, b.v_names);
+}
+
+TEST(latch_split, rejects_bad_indices) {
+    const network net = make_counter(3);
+    EXPECT_THROW(split_latches(net, {7}), std::invalid_argument);
+    EXPECT_THROW(split_latches(net, {1, 1}), std::invalid_argument);
+    EXPECT_THROW(split_last_latches(net, 9), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// generators
+// ---------------------------------------------------------------------------
+
+TEST(generator, counter_counts) {
+    const network net = make_counter(3);
+    std::vector<bool> s = net.initial_state();
+    // 7 enabled steps: state = 7, carry on the 8th
+    for (int k = 0; k < 7; ++k) {
+        const auto r = net.simulate(s, {true, false});
+        EXPECT_FALSE(net.simulate(s, {true, false}).outputs[0] && k < 6);
+        s = r.next_state;
+    }
+    EXPECT_EQ(s, (std::vector<bool>{true, true, true}));
+    EXPECT_TRUE(net.simulate(s, {true, false}).outputs[0]); // carry
+    // clear resets
+    const auto r = net.simulate(s, {true, true});
+    EXPECT_EQ(r.next_state, (std::vector<bool>{false, false, false}));
+}
+
+TEST(generator, lfsr_cycles_through_nonzero_states) {
+    const network net = make_lfsr(4, {1});
+    std::vector<bool> s = net.initial_state();
+    std::set<std::vector<bool>> seen;
+    for (int k = 0; k < 32; ++k) {
+        seen.insert(s);
+        s = net.simulate(s, {true}).next_state;
+        EXPECT_NE(s, (std::vector<bool>(4, false))) << "LFSR locked at zero";
+    }
+    EXPECT_GT(seen.size(), 4u);
+}
+
+TEST(generator, traffic_controller_cycles) {
+    const network net = make_traffic_controller();
+    std::vector<bool> s = net.initial_state(); // HG
+    auto out = net.simulate(s, {false, false}).outputs;
+    EXPECT_TRUE(out[0]);  // hw_green
+    EXPECT_FALSE(out[2]); // fm_green off
+    // car + timer: HG -> HY -> AR -> FG
+    s = net.simulate(s, {true, true}).next_state;
+    EXPECT_TRUE(net.simulate(s, {true, true}).outputs[1]); // hw_yellow
+    s = net.simulate(s, {true, true}).next_state;           // AR
+    s = net.simulate(s, {true, true}).next_state;           // FG
+    EXPECT_TRUE(net.simulate(s, {true, false}).outputs[2]); // fm_green
+}
+
+TEST(generator, table1_suite_matches_paper_dimensions) {
+    const auto suite = make_table1_suite();
+    ASSERT_EQ(suite.size(), 6u);
+    const auto expect_dims = [&](std::size_t k, std::size_t i, std::size_t o,
+                                 std::size_t cs, std::size_t fcs,
+                                 std::size_t xcs) {
+        EXPECT_EQ(suite[k].circuit.num_inputs(), i) << suite[k].name;
+        EXPECT_EQ(suite[k].circuit.num_outputs(), o) << suite[k].name;
+        EXPECT_EQ(suite[k].circuit.num_latches(), cs) << suite[k].name;
+        EXPECT_EQ(suite[k].f_latches, fcs) << suite[k].name;
+        EXPECT_EQ(suite[k].x_latches, xcs) << suite[k].name;
+        EXPECT_EQ(fcs + xcs, cs) << suite[k].name;
+    };
+    expect_dims(0, 19, 7, 6, 3, 3);
+    expect_dims(1, 10, 1, 8, 4, 4);
+    expect_dims(2, 3, 6, 14, 7, 7);
+    expect_dims(3, 9, 11, 15, 5, 10);
+    expect_dims(4, 3, 6, 21, 5, 16);
+    expect_dims(5, 3, 6, 21, 5, 16);
+}
+
+TEST(generator, deterministic_for_fixed_seed) {
+    random_spec spec;
+    spec.seed = 77;
+    const network a = make_random_sequential(spec);
+    const network b = make_random_sequential(spec);
+    EXPECT_EQ(write_blif_string(a), write_blif_string(b));
+}
+
+} // namespace

@@ -1,0 +1,136 @@
+/// \file test_random_crosscheck.cpp
+/// \brief Randomized cross-validation of the three solver flows.
+///
+/// For a sweep of seeded random sequential circuits, the partitioned flow,
+/// the monolithic flow and the explicit Algorithm-1 oracle must agree on
+/// the CSF language (Corollary 1 covers partitioned-vs-monolithic; the
+/// oracle covers both against a line-by-line execution of the paper's
+/// generic algorithm).  Every computed CSF must also pass the paper's two
+/// verification checks, and the whole resynthesis pipeline must hold up.
+/// Instances are kept small so the exponential oracle stays cheap.
+
+#include "eq/resynth.hpp"
+#include "eq/solver.hpp"
+#include "eq/verify.hpp"
+#include "net/generator.hpp"
+#include "net/latch_split.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace leq;
+
+network random_net(std::uint32_t seed, std::size_t latches) {
+    random_spec spec;
+    spec.num_inputs = 2;
+    spec.num_outputs = 2;
+    spec.num_latches = latches;
+    spec.seed = seed;
+    spec.max_fanin = 3;
+    return make_random_sequential(spec);
+}
+
+class crosscheck : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(crosscheck, three_flows_agree_and_verify) {
+    const std::uint32_t seed = GetParam();
+    const network original = random_net(seed, 4);
+    const split_result split = split_last_latches(original, 2);
+    const equation_problem problem(split.fixed, original);
+
+    const solve_result part = solve_partitioned(problem);
+    const solve_result mono = solve_monolithic(problem);
+    const solve_result oracle = solve_explicit(problem, split.fixed, original);
+    ASSERT_EQ(part.status, solve_status::ok) << "seed " << seed;
+    ASSERT_EQ(mono.status, solve_status::ok) << "seed " << seed;
+    ASSERT_EQ(oracle.status, solve_status::ok) << "seed " << seed;
+
+    // Corollary 1 and the oracle
+    EXPECT_TRUE(language_equivalent(*part.csf, *mono.csf)) << "seed " << seed;
+    EXPECT_TRUE(language_equivalent(*part.csf, *oracle.csf))
+        << "seed " << seed;
+
+    // the paper's checks (X_P is always a particular solution)
+    EXPECT_FALSE(part.empty_solution) << "seed " << seed;
+    EXPECT_TRUE(verify_particular_contained(problem, *part.csf,
+                                            split.part.initial_state()))
+        << "seed " << seed;
+    EXPECT_TRUE(verify_composition_contained(problem, *part.csf))
+        << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(seeds, crosscheck, ::testing::Range(1u, 21u));
+
+class crosscheck_nondet : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(crosscheck_nondet, choice_inputs_keep_flows_in_agreement) {
+    const std::uint32_t seed = GetParam();
+    // F gets one of the original's inputs re-declared as a choice input:
+    // build F from a split, then append a fresh w wired into nothing and a
+    // second w-affected instance by reusing a random net with 3 inputs where
+    // the third becomes w
+    random_spec spec;
+    spec.num_inputs = 3; // the third input will be F's choice input
+    spec.num_outputs = 2;
+    spec.num_latches = 3;
+    spec.seed = seed;
+    spec.max_fanin = 3;
+    const network noisy = make_random_sequential(spec);
+
+    // spec S: an independent random machine over the two real inputs; the
+    // generator names ports positionally (x0, x1, ... / z0, z1, ...), so
+    // F's first two inputs and both outputs match S's by construction
+    random_spec sspec;
+    sspec.num_inputs = 2;
+    sspec.num_outputs = 2;
+    sspec.num_latches = 2;
+    sspec.seed = seed + 1000;
+    sspec.max_fanin = 3;
+    const network s = make_random_sequential(sspec);
+    const network& f = noisy;
+    ASSERT_EQ(f.signal_name(f.inputs()[0]), s.signal_name(s.inputs()[0]));
+    ASSERT_EQ(f.signal_name(f.outputs()[0]), s.signal_name(s.outputs()[0]));
+
+    // F's third input is the choice input; there are no v/u wires beyond
+    // the shared ports, making this a pure containment-under-nondeterminism
+    // instance (the unknown is stateless flexibility over an empty alphabet
+    // is avoided because u = outputs... keep u empty and v empty: the CSF
+    // degenerates to empty-or-universal, which all flows must agree on)
+    const equation_problem problem(f, s, 1);
+    EXPECT_EQ(problem.v_vars.size(), 0u);
+    EXPECT_EQ(problem.w_vars.size(), 1u);
+
+    const solve_result part = solve_partitioned(problem);
+    const solve_result mono = solve_monolithic(problem);
+    const solve_result oracle = solve_explicit(problem, f, s);
+    ASSERT_EQ(part.status, solve_status::ok) << "seed " << seed;
+    ASSERT_EQ(mono.status, solve_status::ok) << "seed " << seed;
+    ASSERT_EQ(oracle.status, solve_status::ok) << "seed " << seed;
+    EXPECT_TRUE(language_equivalent(*part.csf, *mono.csf)) << "seed " << seed;
+    EXPECT_TRUE(language_equivalent(*part.csf, *oracle.csf))
+        << "seed " << seed;
+    EXPECT_EQ(part.empty_solution, oracle.empty_solution) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(seeds, crosscheck_nondet,
+                         ::testing::Range(1u, 11u));
+
+class crosscheck_resynth : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(crosscheck_resynth, pipeline_on_random_circuits) {
+    const std::uint32_t seed = GetParam();
+    const network original = random_net(seed + 500, 4);
+    const resynth_result r = resynthesize(original, {2, 3});
+    ASSERT_TRUE(r.solved) << "seed " << seed;
+    if (!r.rebuilt) { GTEST_SKIP() << "no Moore sub-solution reachable"; }
+    EXPECT_TRUE(r.verified) << "seed " << seed;
+    EXPECT_TRUE(simulation_equivalent(original, r.optimized, 4, 128,
+                                      seed * 7 + 1))
+        << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(seeds, crosscheck_resynth,
+                         ::testing::Range(1u, 11u));
+
+} // namespace

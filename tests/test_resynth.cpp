@@ -1,0 +1,187 @@
+/// \file test_resynth.cpp
+/// \brief End-to-end resynthesis: Moore extraction, Moore-aware encoding,
+/// composition and the equivalence checks.
+
+#include "automata/encode.hpp"
+#include "eq/resynth.hpp"
+#include "eq/solver.hpp"
+#include "eq/subsolution.hpp"
+#include "net/generator.hpp"
+#include "net/latch_split.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace leq;
+
+struct solved {
+    network original;
+    split_result split;
+    equation_problem problem;
+    solve_result result;
+
+    solved(network net, const std::vector<std::size_t>& cut)
+        : original(std::move(net)), split(split_latches(original, cut)),
+          problem(split.fixed, original),
+          result(solve_partitioned(problem)) {}
+};
+
+// ---------------------------------------------------------------------------
+// Moore extraction
+// ---------------------------------------------------------------------------
+
+TEST(moore_extract, result_is_moore_and_contained) {
+    solved s(make_counter(3), {2});
+    ASSERT_EQ(s.result.status, solve_status::ok);
+    const auto fsm =
+        extract_moore_fsm(*s.result.csf, s.problem.u_vars, s.problem.v_vars);
+    ASSERT_TRUE(fsm.has_value());
+    bdd_manager& mgr = s.problem.mgr();
+    const bdd u_cube = mgr.cube(s.problem.u_vars);
+    const bdd v_cube = mgr.cube(s.problem.v_vars);
+    for (std::uint32_t q = 0; q < fsm->num_states(); ++q) {
+        // single v assignment per state...
+        const bdd vs = mgr.exists(fsm->domain(q), u_cube);
+        EXPECT_EQ(mgr.sat_count(
+                      vs, static_cast<std::uint32_t>(s.problem.v_vars.size())),
+                  1.0)
+            << "state " << q;
+        // ...and every u covered under it (progressive)
+        EXPECT_TRUE(mgr.forall(mgr.exists(fsm->domain(q), v_cube), u_cube)
+                        .is_one())
+            << "state " << q;
+    }
+    EXPECT_TRUE(language_contained(*fsm, *s.result.csf));
+    EXPECT_TRUE(is_deterministic(*fsm));
+}
+
+TEST(moore_extract, throws_on_empty_csf) {
+    solved s(make_counter(3), {2});
+    automaton empty(s.problem.mgr(), s.result.csf->label_vars());
+    empty.add_state(false);
+    empty.set_initial(0);
+    EXPECT_THROW(
+        (void)extract_moore_fsm(empty, s.problem.u_vars, s.problem.v_vars),
+        std::invalid_argument);
+}
+
+TEST(moore_extract, nullopt_when_no_uniform_v_exists) {
+    // CSF that forces v to copy u in the same step: no u-independent choice
+    solved s(make_counter(3), {2}); // borrow a manager/problem
+    bdd_manager& mgr = s.problem.mgr();
+    automaton mealy_only(mgr, s.result.csf->label_vars());
+    mealy_only.add_state(true);
+    mealy_only.set_initial(0);
+    bdd copy = mgr.one();
+    for (std::size_t m = 0; m < s.problem.u_vars.size(); ++m) {
+        copy &= mgr.var(s.problem.u_vars[m]).iff(mgr.var(s.problem.v_vars[m]));
+    }
+    mealy_only.add_transition(0, 0, copy);
+    EXPECT_FALSE(
+        extract_moore_fsm(mealy_only, s.problem.u_vars, s.problem.v_vars)
+            .has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Moore-aware encoding composes without cycles
+// ---------------------------------------------------------------------------
+
+TEST(moore_encode, moore_outputs_do_not_read_u) {
+    solved s(make_counter(4), {3});
+    ASSERT_EQ(s.result.status, solve_status::ok);
+    const auto fsm =
+        extract_moore_fsm(*s.result.csf, s.problem.u_vars, s.problem.v_vars);
+    ASSERT_TRUE(fsm.has_value());
+    const network net = automaton_to_network(
+        *fsm, s.problem.u_vars, s.problem.v_vars, s.split.u_names,
+        s.split.v_names, "x_moore");
+    // behavioural check: with the state fixed, changing u must not change v
+    const std::vector<bool> state(net.num_latches(), false);
+    std::vector<bool> in0(net.num_inputs(), false);
+    std::vector<bool> in1(net.num_inputs(), true);
+    EXPECT_EQ(net.simulate(state, in0).outputs,
+              net.simulate(state, in1).outputs);
+}
+
+// ---------------------------------------------------------------------------
+// the full pipeline
+// ---------------------------------------------------------------------------
+
+class resynth_families : public ::testing::TestWithParam<int> {};
+
+TEST_P(resynth_families, pipeline_is_sound) {
+    const int id = GetParam();
+    const network net = id == 0   ? make_counter(3)
+                        : id == 1 ? make_counter(4)
+                        : id == 2 ? make_traffic_controller()
+                        : id == 3 ? make_shift_xor(3)
+                        : id == 4 ? make_paper_example()
+                                  : make_lfsr(4, {1});
+    const resynth_result r =
+        resynthesize(net, {net.num_latches() - 1});
+    ASSERT_TRUE(r.solved) << net.name();
+    if (!r.rebuilt) { GTEST_SKIP() << "no greedy Moore sub-solution"; }
+    EXPECT_TRUE(r.verified) << net.name();
+    EXPECT_EQ(r.optimized.num_inputs(), net.num_inputs());
+    EXPECT_EQ(r.optimized.num_outputs(), net.num_outputs());
+    EXPECT_GT(r.x_states, 0u);
+    // the independent check the caller would run
+    EXPECT_TRUE(simulation_equivalent(net, r.optimized, 4, 128, 99));
+}
+
+INSTANTIATE_TEST_SUITE_P(families, resynth_families,
+                         ::testing::Range(0, 6));
+
+TEST(resynth, two_latch_cut) {
+    const network net = make_counter(4);
+    const resynth_result r = resynthesize(net, {2, 3});
+    ASSERT_TRUE(r.solved);
+    EXPECT_EQ(r.x_latches_before, 2u);
+    if (r.rebuilt) {
+        EXPECT_TRUE(r.verified);
+        EXPECT_TRUE(simulation_equivalent(net, r.optimized, 4, 128, 7));
+    }
+}
+
+TEST(resynth, unminimized_option_still_verifies) {
+    const network net = make_counter(3);
+    resynth_options options;
+    options.minimize_states = false;
+    const resynth_result r = resynthesize(net, {2}, options);
+    ASSERT_TRUE(r.solved);
+    if (r.rebuilt) { EXPECT_TRUE(r.verified); }
+}
+
+TEST(resynth, minimization_never_grows_the_replacement) {
+    const network net = make_traffic_controller();
+    resynth_options raw, min;
+    raw.minimize_states = false;
+    const resynth_result a = resynthesize(net, {1}, raw);
+    const resynth_result b = resynthesize(net, {1}, min);
+    if (a.rebuilt && b.rebuilt) {
+        EXPECT_LE(b.x_states, a.x_states);
+        EXPECT_LE(b.x_latches_after, a.x_latches_after);
+    }
+}
+
+TEST(resynth, simulation_equivalence_detects_differences) {
+    // identical interfaces, different behaviour: a delay vs an inverted delay
+    const auto make = [](bool invert) {
+        network net(invert ? "ndelay" : "delay");
+        net.add_input("a");
+        net.add_latch("a", "s", false);
+        net.add_node("z", {"s"}, {invert ? "0" : "1"});
+        net.add_output("z");
+        net.validate();
+        return net;
+    };
+    const network a = make(false);
+    const network b = make(true);
+    EXPECT_FALSE(simulation_equivalent(a, b, 4, 64, 3));
+    EXPECT_TRUE(simulation_equivalent(a, a, 4, 64, 3));
+    // interface mismatch is a difference
+    EXPECT_FALSE(simulation_equivalent(a, make_counter(3), 4, 64, 3));
+}
+
+} // namespace

@@ -1,0 +1,185 @@
+/// \file test_sweep.cpp
+/// \brief Netlist sweep: constant propagation, wire collapse, dead logic
+/// removal — always preserving IO behaviour.
+
+#include "eq/resynth.hpp" // simulation_equivalent
+#include "net/compose.hpp"
+#include "net/generator.hpp"
+#include "net/latch_split.hpp"
+#include "net/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace leq;
+
+// ---------------------------------------------------------------------------
+// targeted transformations
+// ---------------------------------------------------------------------------
+
+TEST(sweep, collapses_buffer_chains) {
+    network net("buffers");
+    net.add_input("a");
+    net.add_node("b1", {"a"}, {"1"});
+    net.add_node("b2", {"b1"}, {"1"});
+    net.add_node("b3", {"b2"}, {"1"});
+    net.add_node("z", {"b3"}, {"1"});
+    net.add_output("z");
+    net.validate();
+    sweep_stats stats;
+    const network swept = sweep_network(net, &stats);
+    EXPECT_TRUE(simulation_equivalent(net, swept, 2, 32, 1));
+    EXPECT_LT(swept.nodes().size(), net.nodes().size());
+    EXPECT_GE(stats.wires_collapsed, 3u);
+}
+
+TEST(sweep, folds_inverter_pairs) {
+    network net("inverters");
+    net.add_input("a");
+    net.add_node("n1", {"a"}, {"0"});
+    net.add_node("n2", {"n1"}, {"0"});
+    net.add_node("z", {"n2"}, {"1"});
+    net.add_output("z");
+    net.validate();
+    const network swept = sweep_network(net);
+    EXPECT_TRUE(simulation_equivalent(net, swept, 2, 32, 2));
+    // z must reduce to a buffer of a (double negation folded)
+    EXPECT_LE(swept.nodes().size(), 1u);
+}
+
+TEST(sweep, propagates_constants_through_logic) {
+    network net("constants");
+    net.add_input("a");
+    net.add_node("zero", {"a"}, {});        // constant 0
+    net.add_node("and", {"a", "zero"}, {"11"});
+    net.add_node("or", {"a", "zero"}, {"1-", "-1"});
+    net.add_node("z1", {"and"}, {"1"});     // == 0
+    net.add_node("z2", {"or"}, {"1"});      // == a
+    net.add_output("z1");
+    net.add_output("z2");
+    net.validate();
+    sweep_stats stats;
+    const network swept = sweep_network(net, &stats);
+    EXPECT_TRUE(simulation_equivalent(net, swept, 2, 32, 3));
+    EXPECT_GT(stats.constants_propagated, 0u);
+}
+
+TEST(sweep, removes_dead_logic_and_latches) {
+    network net("deadwood");
+    net.add_input("a");
+    net.add_latch("a", "used", false);
+    net.add_latch("a", "unused", false);
+    net.add_node("noise", {"unused"}, {"0"}); // observed by nobody
+    net.add_node("z", {"used"}, {"1"});
+    net.add_output("z");
+    net.validate();
+    sweep_stats stats;
+    const network swept = sweep_network(net, &stats);
+    EXPECT_TRUE(simulation_equivalent(net, swept, 2, 32, 4));
+    EXPECT_EQ(swept.num_latches(), 1u);
+    EXPECT_EQ(stats.latches_before, 2u);
+    EXPECT_EQ(stats.latches_after, 1u);
+}
+
+TEST(sweep, keeps_output_names_for_aliased_outputs) {
+    network net("alias_out");
+    net.add_input("a");
+    net.add_node("z", {"a"}, {"1"}); // output is a buffer of the input
+    net.add_output("z");
+    net.validate();
+    const network swept = sweep_network(net);
+    ASSERT_EQ(swept.num_outputs(), 1u);
+    EXPECT_EQ(swept.signal_name(swept.outputs()[0]), "z");
+    EXPECT_TRUE(simulation_equivalent(net, swept, 2, 16, 5));
+}
+
+TEST(sweep, constant_output_survives) {
+    network net("const_out");
+    net.add_input("a");
+    net.add_node("k1", {"a"}, {"0", "1"}); // tautology: constant 1
+    net.add_node("z", {"k1"}, {"1"});
+    net.add_output("z");
+    net.add_latch("a", "s", false); // keep it sequential
+    net.add_node("zz", {"s"}, {"1"});
+    net.add_output("zz");
+    net.validate();
+    const network swept = sweep_network(net);
+    EXPECT_TRUE(simulation_equivalent(net, swept, 2, 32, 6));
+}
+
+TEST(sweep, latch_fed_by_inverted_wire) {
+    network net("inv_latch");
+    net.add_input("a");
+    net.add_node("na", {"a"}, {"0"});
+    net.add_latch("na", "s", true);
+    net.add_node("z", {"s"}, {"1"});
+    net.add_output("z");
+    net.validate();
+    const network swept = sweep_network(net);
+    EXPECT_TRUE(simulation_equivalent(net, swept, 4, 64, 7));
+}
+
+// ---------------------------------------------------------------------------
+// idempotence and behaviour preservation across the generator families
+// ---------------------------------------------------------------------------
+
+class sweep_families : public ::testing::TestWithParam<int> {};
+
+TEST_P(sweep_families, behaviour_preserved_and_idempotent) {
+    const int id = GetParam();
+    const network net = id == 0   ? make_counter(5)
+                        : id == 1 ? make_lfsr(6, {1, 3})
+                        : id == 2 ? make_traffic_controller()
+                        : id == 3 ? make_shift_xor(5)
+                        : id == 4 ? make_paper_example()
+                                  : [] {
+                              structured_spec spec;
+                              spec.num_latches = 10;
+                              spec.seed = 3;
+                              return make_structured_mix(spec);
+                          }();
+    sweep_stats stats;
+    const network once = sweep_network(net, &stats);
+    EXPECT_TRUE(simulation_equivalent(net, once, 4, 256, 11u + id));
+    EXPECT_LE(once.nodes().size(), net.nodes().size() + net.num_outputs());
+    const network twice = sweep_network(once);
+    EXPECT_TRUE(simulation_equivalent(once, twice, 2, 128, 13u + id));
+    EXPECT_EQ(twice.nodes().size(), once.nodes().size());
+    EXPECT_EQ(twice.num_latches(), once.num_latches());
+}
+
+INSTANTIATE_TEST_SUITE_P(families, sweep_families, ::testing::Range(0, 6));
+
+// ---------------------------------------------------------------------------
+// the motivating case: cleanup after composition
+// ---------------------------------------------------------------------------
+
+TEST(sweep, cleans_up_composed_networks) {
+    const network original = make_counter(4);
+    const split_result split = split_latches(original, {3});
+    const network composed = compose_networks(
+        split.fixed, split.part, split.u_names, split.v_names);
+    sweep_stats stats;
+    const network swept = sweep_network(composed, &stats);
+    EXPECT_TRUE(simulation_equivalent(composed, swept, 4, 256, 17));
+    EXPECT_TRUE(simulation_equivalent(original, swept, 4, 256, 18));
+    // composition inserts pass-through wiring the sweep must pay back
+    EXPECT_LE(swept.nodes().size(), composed.nodes().size());
+}
+
+TEST(sweep, random_circuits_survive) {
+    for (std::uint32_t seed = 1; seed <= 8; ++seed) {
+        random_spec spec;
+        spec.num_inputs = 3;
+        spec.num_outputs = 3;
+        spec.num_latches = 5;
+        spec.seed = seed;
+        const network net = make_random_sequential(spec);
+        const network swept = sweep_network(net);
+        EXPECT_TRUE(simulation_equivalent(net, swept, 3, 128, seed))
+            << "seed " << seed;
+    }
+}
+
+} // namespace
