@@ -17,9 +17,12 @@
 /// Usage: bench_scaling [time_limit_seconds] (default 60)
 
 #include "eq/solver.hpp"
+#include "img/image.hpp"
 #include "net/generator.hpp"
 #include "net/latch_split.hpp"
+#include "net/netbdd.hpp"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -70,6 +73,46 @@ void sweep(const network& original, std::size_t x_from, std::size_t x_to,
     }
 }
 
+/// Per-strategy reachability comparison table (series C): the same fixpoint
+/// under the three exploration strategies, on a deep-sequential workload
+/// (n-bit counters: 2^n depth, tiny frontiers) and a wide-parallel one
+/// (structured mixes: shallow depth, wide frontiers).  Every row reaches the
+/// identical state set; only the BDD operation schedule differs.
+/// Runs the three strategies on one workload; returns the total seconds spent
+/// so the caller can stop a series that outgrew the time limit.
+double strategy_sweep(const char* label, const network& net) {
+    bdd_manager mgr(0, 20);
+    std::vector<std::uint32_t> in, cs, ns;
+    for (std::size_t k = 0; k < net.num_inputs(); ++k) {
+        in.push_back(mgr.new_var());
+    }
+    for (std::size_t k = 0; k < net.num_latches(); ++k) {
+        cs.push_back(mgr.new_var());
+        ns.push_back(mgr.new_var());
+    }
+    const net_bdds fns = build_net_bdds(mgr, net, in, cs);
+    const bdd init = state_cube(mgr, cs, net.initial_state());
+
+    double total = 0;
+    for (const reach_strategy strategy : all_reach_strategies) {
+        image_options options;
+        options.strategy = strategy;
+        const auto t0 = std::chrono::steady_clock::now();
+        const reach_info info = reachable_states_layered(
+            mgr, fns.next_state, cs, ns, in, init, options);
+        const double seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          t0)
+                .count();
+        std::printf("%-18s %-10s %8zu %12.0f %10.3f\n", label,
+                    to_string(strategy), info.depth, info.total_states,
+                    seconds);
+        std::fflush(stdout);
+        total += seconds;
+    }
+    return total;
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
@@ -103,6 +146,31 @@ int main(int argc, char** argv) {
                     original.num_inputs(), original.num_outputs(),
                     original.num_latches());
         sweep(original, 16, 20, 1, limit);
+    }
+    {
+        std::printf("\nSeries C: reachability strategy comparison "
+                    "(identical fixpoints, different schedules)\n");
+        std::printf("%-18s %-10s %8s %12s %10s\n", "workload", "strategy",
+                    "depth", "states", "time,s");
+        // each family grows until one workload's three strategies together
+        // exceed the per-solve time limit, mirroring the CNC cutoff above
+        for (const std::size_t bits : {10, 12, 14}) {
+            if (strategy_sweep(("counter-" + std::to_string(bits)).c_str(),
+                               make_counter(bits)) > limit) {
+                break;
+            }
+        }
+        for (const std::size_t latches : {16, 20, 24}) {
+            structured_spec spec;
+            spec.num_inputs = 4;
+            spec.num_outputs = 4;
+            spec.num_latches = latches;
+            spec.seed = 23;
+            if (strategy_sweep(("mix-" + std::to_string(latches)).c_str(),
+                               make_structured_mix(spec)) > limit) {
+                break;
+            }
+        }
     }
     return 0;
 }

@@ -100,7 +100,6 @@ solve_result solve_monolithic(const equation_problem& problem,
     std::vector<std::uint32_t> cs_vars = problem.cs_f;
     cs_vars.insert(cs_vars.end(), problem.cs_s.begin(), problem.cs_s.end());
     cs_vars.push_back(problem.dc_cs);
-    const bdd cs_cube = mgr.cube(cs_vars);
     std::vector<std::uint32_t> ns_vars = problem.ns_f;
     ns_vars.insert(ns_vars.end(), problem.ns_s.begin(), problem.ns_s.end());
     ns_vars.push_back(problem.dc_ns);
@@ -110,6 +109,12 @@ solve_result solve_monolithic(const equation_problem& problem,
                                        problem.ns_to_cs_permutation(), options};
     const std::uint32_t boundary = problem.uv_boundary_level();
 
+    // per-subset-state image of the (single, monolithic) hidden relation —
+    // routed through the image engine so the img options (naive vs
+    // last-occurrence quantification, reach strategy) apply to this flow too;
+    // with one part the engine degenerates to and_exists as before
+    const image_engine step_engine(mgr, {hidden}, cs_vars, options.img);
+
     // initial product state: F and S initial, dc = 0
     const bdd initial = problem.initial_product_state() & dc0;
 
@@ -118,7 +123,7 @@ solve_result solve_monolithic(const equation_problem& problem,
         mgr.permute(accepting_product, problem.ns_to_cs_permutation());
 
     const auto expand = [&](const bdd& psi) {
-        const bdd p = mgr.and_exists(hidden, psi, cs_cube);
+        const bdd p = step_engine.image(psi);
         detail::expansion exp{detail::split_by_top_block(mgr, p, boundary),
                               mgr.zero()};
         exp.to_dca = !mgr.exists(p, ns_cube);

@@ -50,7 +50,11 @@ solve_result solve_partitioned(const equation_problem& problem,
     quantify.insert(quantify.end(), problem.cs_f.begin(), problem.cs_f.end());
     quantify.insert(quantify.end(), problem.cs_s.begin(), problem.cs_s.end());
 
-    // successor image engine: u-match plus next-state parts
+    // successor image engine: u-match plus next-state parts.  options.img
+    // carries the reach strategy: chaining makes both engines apply their
+    // relation parts strictly sequentially (and the driver below explore
+    // subset states depth-first); bfs/frontier keep the greedy IWLS95
+    // schedule and layer-order exploration.
     std::vector<bdd> p_parts = u_match;
     p_parts.insert(p_parts.end(), ns_parts.begin(), ns_parts.end());
     const image_engine p_engine(mgr, p_parts, quantify, options.img);
@@ -87,7 +91,7 @@ solve_result solve_partitioned(const equation_problem& problem,
                               mgr.zero()};
         // undefined (u,v): no product transition at all and not trimmed
         const bdd domain = mgr.exists(p, ns_cube);
-        exp.to_dca = !q & !domain;
+        exp.to_dca = (!q) & (!domain);
         return exp;
     });
 }

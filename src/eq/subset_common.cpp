@@ -3,6 +3,7 @@
 
 #include "eq/subset_common.hpp"
 
+#include <deque>
 #include <queue>
 
 namespace leq::detail {
@@ -74,14 +75,21 @@ subset_driver::run(const bdd& initial_state,
     // subset states interned by BDD index (canonical)
     std::unordered_map<std::uint32_t, std::uint32_t> ids;
     std::vector<bdd> subsets;
-    std::queue<std::uint32_t> work;
+    // The subset construction is itself a reachability exploration over
+    // subset states; the reach strategy picks the worklist discipline.  The
+    // explored set (and therefore the CSF) is order-independent, but the
+    // peak worklist and BDD cache locality are not: bfs/frontier expand in
+    // layer (FIFO) order, chaining follows each newly discovered subset
+    // immediately (LIFO), chaining through successor chains first.
+    std::deque<std::uint32_t> work;
+    const bool lifo = options.img.strategy == reach_strategy::chaining;
     const auto intern = [&](const bdd& state) {
         const auto it = ids.find(state.index());
         if (it != ids.end()) { return it->second; }
         const auto id = static_cast<std::uint32_t>(subsets.size());
         ids.emplace(state.index(), id);
         subsets.push_back(state);
-        work.push(id);
+        work.push_back(id);
         return id;
     };
 
@@ -107,8 +115,12 @@ subset_driver::run(const bdd& initial_state,
             result.seconds = elapsed();
             return result;
         }
-        const std::uint32_t id = work.front();
-        work.pop();
+        const std::uint32_t id = lifo ? work.back() : work.front();
+        if (lifo) {
+            work.pop_back();
+        } else {
+            work.pop_front();
+        }
         const expansion exp = expand(subsets[id]);
         if (edges.size() <= id) { edges.resize(id + 1); }
         for (const cofactor_class& c : exp.successors) {

@@ -5,15 +5,26 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 #include <unordered_set>
 
 namespace leq {
+
+const char* to_string(reach_strategy strategy) {
+    switch (strategy) {
+    case reach_strategy::bfs: return "bfs";
+    case reach_strategy::frontier: return "frontier";
+    case reach_strategy::chaining: return "chaining";
+    }
+    return "?";
+}
 
 image_engine::image_engine(bdd_manager& mgr, std::vector<bdd> parts,
                            std::vector<std::uint32_t> quantify,
                            const image_options& options)
     : mgr_(&mgr), parts_(std::move(parts)), quantify_(std::move(quantify)),
       leading_cube_(mgr.one()), early_(options.early_quantification),
+      sequential_(options.strategy == reach_strategy::chaining),
       all_cube_(mgr.cube(quantify_)) {
     build_schedule(options);
 }
@@ -52,40 +63,48 @@ void image_engine::build_schedule(const image_options& options) {
         }
     }
 
-    // greedy order: at each step pick the cluster that retires the most
-    // quantified variables (variables appearing in no other pending cluster)
-    // net of the variables it newly activates
-    std::vector<bool> used(clustered.size(), false);
     std::vector<std::size_t> order;
-    std::unordered_set<std::uint32_t> live;
-    for (std::size_t round = 0; round < clustered.size(); ++round) {
-        int best_score = -1 << 30;
-        std::size_t best = 0;
-        for (std::size_t k = 0; k < clustered.size(); ++k) {
-            if (used[k]) { continue; }
-            int retired = 0, activated = 0;
-            for (const std::uint32_t v : qsupport[k]) {
-                bool elsewhere = false;
-                for (std::size_t m = 0; m < clustered.size(); ++m) {
-                    if (m == k || used[m]) { continue; }
-                    if (std::find(qsupport[m].begin(), qsupport[m].end(), v) !=
-                        qsupport[m].end()) {
-                        elsewhere = true;
-                        break;
+    if (sequential_) {
+        // chaining: apply the per-latch/per-cluster relations strictly in
+        // declaration order, each partial product chained into the next part
+        // (variables still retire at their last occurrence along the chain)
+        order.resize(clustered.size());
+        for (std::size_t k = 0; k < order.size(); ++k) { order[k] = k; }
+    } else {
+        // greedy order: at each step pick the cluster that retires the most
+        // quantified variables (variables appearing in no other pending
+        // cluster) net of the variables it newly activates
+        std::vector<bool> used(clustered.size(), false);
+        std::unordered_set<std::uint32_t> live;
+        for (std::size_t round = 0; round < clustered.size(); ++round) {
+            int best_score = std::numeric_limits<int>::min();
+            std::size_t best = 0;
+            for (std::size_t k = 0; k < clustered.size(); ++k) {
+                if (used[k]) { continue; }
+                int retired = 0, activated = 0;
+                for (const std::uint32_t v : qsupport[k]) {
+                    bool elsewhere = false;
+                    for (std::size_t m = 0; m < clustered.size(); ++m) {
+                        if (m == k || used[m]) { continue; }
+                        if (std::find(qsupport[m].begin(), qsupport[m].end(),
+                                      v) != qsupport[m].end()) {
+                            elsewhere = true;
+                            break;
+                        }
                     }
+                    if (!elsewhere) { ++retired; }
+                    if (live.count(v) == 0) { ++activated; }
                 }
-                if (!elsewhere) { ++retired; }
-                if (live.count(v) == 0) { ++activated; }
+                const int score = 2 * retired - activated;
+                if (score > best_score) {
+                    best_score = score;
+                    best = k;
+                }
             }
-            const int score = 2 * retired - activated;
-            if (score > best_score) {
-                best_score = score;
-                best = k;
-            }
+            used[best] = true;
+            order.push_back(best);
+            for (const std::uint32_t v : qsupport[best]) { live.insert(v); }
         }
-        used[best] = true;
-        order.push_back(best);
-        for (const std::uint32_t v : qsupport[best]) { live.insert(v); }
     }
 
     // last occurrence of each quantified variable along the chosen order
@@ -119,11 +138,27 @@ bdd image_engine::image(const bdd& from) const {
     return acc;
 }
 
-bdd reachable_states(bdd_manager& mgr, const std::vector<bdd>& next_state,
-                     const std::vector<std::uint32_t>& cs_vars,
-                     const std::vector<std::uint32_t>& ns_vars,
-                     const std::vector<std::uint32_t>& input_vars,
-                     const bdd& init, const image_options& options) {
+namespace {
+
+/// Shared fixpoint core of `reachable_states` / `reachable_states_layered`.
+/// `layered` additionally records the BFS structure (per-layer sat counts).
+///
+/// Whatever the engine's internal schedule (greedy vs chaining), the loop
+/// differs only in what each step images:
+///
+///   bfs                 Img(reached)   — the whole reached set
+///   frontier/chaining   Img(frontier)  — only the states new in the last step
+///
+/// Every newly found state is a successor of *some* already-reached state, so
+/// both variants add exactly the BFS layer `Img(R_k) \ R_k` per step (a
+/// successor of an older layer is already inside R_k) and agree on depth and
+/// layer contents; they differ only in the size of the operand BDD.
+reach_info reach_fixpoint(bdd_manager& mgr, const std::vector<bdd>& next_state,
+                          const std::vector<std::uint32_t>& cs_vars,
+                          const std::vector<std::uint32_t>& ns_vars,
+                          const std::vector<std::uint32_t>& input_vars,
+                          const bdd& init, const image_options& options,
+                          bool layered) {
     assert(next_state.size() == cs_vars.size() &&
            cs_vars.size() == ns_vars.size());
     std::vector<bdd> parts;
@@ -143,15 +178,36 @@ bdd reachable_states(bdd_manager& mgr, const std::vector<bdd>& next_state,
         perm[cs_vars[k]] = ns_vars[k];
     }
 
-    bdd reached = init;
+    const bool image_full_set = options.strategy == reach_strategy::bfs;
+    const auto nbits = static_cast<std::uint32_t>(cs_vars.size());
+    reach_info info;
+    info.reached = init;
+    if (layered) { info.layer_states.push_back(mgr.sat_count(init, nbits)); }
     bdd frontier = init;
     while (!frontier.is_zero()) {
-        const bdd img_ns = engine.image(frontier);
-        const bdd img_cs = mgr.permute(img_ns, perm);
-        frontier = img_cs & !reached;
-        reached |= frontier;
+        const bdd& from = image_full_set ? info.reached : frontier;
+        const bdd img_cs = mgr.permute(engine.image(from), perm);
+        frontier = img_cs & (!info.reached);
+        info.reached |= frontier;
+        if (layered && !frontier.is_zero()) {
+            ++info.depth;
+            info.layer_states.push_back(mgr.sat_count(frontier, nbits));
+        }
     }
-    return reached;
+    if (layered) { info.total_states = mgr.sat_count(info.reached, nbits); }
+    return info;
+}
+
+} // namespace
+
+bdd reachable_states(bdd_manager& mgr, const std::vector<bdd>& next_state,
+                     const std::vector<std::uint32_t>& cs_vars,
+                     const std::vector<std::uint32_t>& ns_vars,
+                     const std::vector<std::uint32_t>& input_vars,
+                     const bdd& init, const image_options& options) {
+    return reach_fixpoint(mgr, next_state, cs_vars, ns_vars, input_vars, init,
+                          options, /*layered=*/false)
+        .reached;
 }
 
 reach_info reachable_states_layered(bdd_manager& mgr,
@@ -161,40 +217,8 @@ reach_info reachable_states_layered(bdd_manager& mgr,
                                     const std::vector<std::uint32_t>& input_vars,
                                     const bdd& init,
                                     const image_options& options) {
-    assert(next_state.size() == cs_vars.size() &&
-           cs_vars.size() == ns_vars.size());
-    std::vector<bdd> parts;
-    parts.reserve(next_state.size());
-    for (std::size_t k = 0; k < next_state.size(); ++k) {
-        parts.push_back(mgr.var(ns_vars[k]).iff(next_state[k]));
-    }
-    std::vector<std::uint32_t> quantify = input_vars;
-    quantify.insert(quantify.end(), cs_vars.begin(), cs_vars.end());
-    const image_engine engine(mgr, parts, quantify, options);
-
-    std::vector<std::uint32_t> perm(mgr.num_vars());
-    for (std::uint32_t v = 0; v < perm.size(); ++v) { perm[v] = v; }
-    for (std::size_t k = 0; k < cs_vars.size(); ++k) {
-        perm[ns_vars[k]] = cs_vars[k];
-        perm[cs_vars[k]] = ns_vars[k];
-    }
-
-    const auto nbits = static_cast<std::uint32_t>(cs_vars.size());
-    reach_info info;
-    info.reached = init;
-    info.layer_states.push_back(mgr.sat_count(init, nbits));
-    bdd frontier = init;
-    while (!frontier.is_zero()) {
-        const bdd img_cs = mgr.permute(engine.image(frontier), perm);
-        frontier = img_cs & !info.reached;
-        info.reached |= frontier;
-        if (!frontier.is_zero()) {
-            ++info.depth;
-            info.layer_states.push_back(mgr.sat_count(frontier, nbits));
-        }
-    }
-    info.total_states = mgr.sat_count(info.reached, nbits);
-    return info;
+    return reach_fixpoint(mgr, next_state, cs_vars, ns_vars, input_vars, init,
+                          options, /*layered=*/true);
 }
 
 } // namespace leq

@@ -22,12 +22,42 @@
 
 namespace leq {
 
+/// Reachability / image-application strategy (LTSmin-style pluggable
+/// exploration orders; see `reachable_states` and `subset_driver`).
+///
+///  * bfs       each fixpoint step images the entire reached set
+///              (the textbook R := R | Img(R) iteration)
+///  * frontier  each step images only the states discovered in the previous
+///              step (the seed's historical behavior, and the default: the
+///              frontier is usually a much smaller BDD than the reached set)
+///  * chaining  per-latch/per-cluster relations are applied strictly
+///              sequentially within a step, in declaration order, instead of
+///              the greedy IWLS95 ordering; the fixpoint loop itself is
+///              frontier-based.  For conjunctively partitioned synchronous
+///              relations this is the exact-image analogue of LTSmin's
+///              chaining: successive and_exists applications chain each
+///              partial product into the next relation part.
+///
+/// All three strategies compute the same fixpoint; they differ only in BDD
+/// operation scheduling, which routinely changes runtime by integer factors.
+enum class reach_strategy : std::uint8_t { bfs, frontier, chaining };
+
+/// Strategy name for benchmark tables and diagnostics ("bfs", ...).
+[[nodiscard]] const char* to_string(reach_strategy strategy);
+
+/// All strategies, in a fixed order (benchmark/test sweeps).
+inline constexpr reach_strategy all_reach_strategies[] = {
+    reach_strategy::bfs, reach_strategy::frontier, reach_strategy::chaining};
+
 struct image_options {
     /// Quantify variables at their last occurrence instead of at the end.
     bool early_quantification = true;
     /// Conjoin parts whose product stays below this node count (clustering);
     /// 0 disables clustering.
     std::size_t cluster_limit = 2500;
+    /// Exploration/scheduling strategy for reachability fixpoints and the
+    /// image engine's cluster order.
+    reach_strategy strategy = reach_strategy::frontier;
 };
 
 /// Precomputed quantification schedule over a fixed set of relation parts.
@@ -61,6 +91,7 @@ private:
     std::vector<bdd> cubes_;   ///< per cluster; quantified right after it
     bdd leading_cube_;         ///< vars in no part: quantified from `from`
     bool early_ = true;
+    bool sequential_ = false;  ///< chaining: keep declaration order
     bdd all_cube_;             ///< every quantified variable (naive mode)
 };
 

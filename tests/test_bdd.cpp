@@ -53,8 +53,8 @@ TEST(bdd_basic, negation_involution) {
 TEST(bdd_basic, implies_iff) {
     bdd_manager m(3);
     const bdd a = m.var(0), b = m.var(1);
-    EXPECT_EQ(a.implies(b), !a | b);
-    EXPECT_EQ(a.iff(b), (a & b) | (!a & !b));
+    EXPECT_EQ(a.implies(b), (!a) | b);
+    EXPECT_EQ(a.iff(b), (a & b) | ((!a) & (!b)));
     EXPECT_TRUE((a & b).leq(a));
     EXPECT_FALSE(a.leq(a & b));
 }
@@ -62,7 +62,7 @@ TEST(bdd_basic, implies_iff) {
 TEST(bdd_basic, ite_matches_definition) {
     bdd_manager m(5);
     const bdd f = m.var(0), g = m.var(1) & m.var(2), h = m.var(3) | m.var(4);
-    EXPECT_EQ(m.ite(f, g, h), (f & g) | (!f & h));
+    EXPECT_EQ(m.ite(f, g, h), (f & g) | ((!f) & h));
     EXPECT_EQ(m.ite(m.one(), g, h), g);
     EXPECT_EQ(m.ite(m.zero(), g, h), h);
     EXPECT_EQ(m.ite(f, m.one(), m.zero()), f);
@@ -71,7 +71,7 @@ TEST(bdd_basic, ite_matches_definition) {
 
 TEST(bdd_quant, exists_removes_variable) {
     bdd_manager m(4);
-    const bdd f = (m.var(0) & m.var(1)) | (!m.var(0) & m.var(2));
+    const bdd f = (m.var(0) & m.var(1)) | ((!m.var(0)) & m.var(2));
     const bdd q = m.exists(f, m.cube({0}));
     EXPECT_EQ(q, m.var(1) | m.var(2));
     const std::vector<std::uint32_t> s = m.support(q);
@@ -121,7 +121,7 @@ TEST(bdd_subst, compose_substitutes_function) {
 
 TEST(bdd_subst, cofactor_by_cube) {
     bdd_manager m(4);
-    const bdd f = (m.var(0) & m.var(1)) | (!m.var(0) & m.var(2));
+    const bdd f = (m.var(0) & m.var(1)) | ((!m.var(0)) & m.var(2));
     EXPECT_EQ(m.cofactor(f, m.var(0)), m.var(1));
     EXPECT_EQ(m.cofactor(f, !m.var(0)), m.var(2));
     EXPECT_EQ(m.cofactor(f, m.var(0) & m.var(1)), m.one());
@@ -265,10 +265,10 @@ TEST_P(bdd_property, random_functions_respect_boolean_algebra) {
     const bdd g = from_truth_table(m, tg, nvars);
 
     // de Morgan
-    EXPECT_EQ(!(f & g), !f | !g);
-    EXPECT_EQ(!(f | g), !f & !g);
+    EXPECT_EQ(!(f & g), (!f) | (!g));
+    EXPECT_EQ(!(f | g), (!f) & (!g));
     // xor decomposition
-    EXPECT_EQ(f ^ g, (f & !g) | (!f & g));
+    EXPECT_EQ(f ^ g, (f & !g) | ((!f) & g));
     // absorption
     EXPECT_EQ(f & (f | g), f);
     EXPECT_EQ(f | (f & g), f);

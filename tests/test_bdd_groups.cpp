@@ -171,8 +171,8 @@ TEST(compose_vector, image_by_substitution_matches_relational_product) {
     bdd_manager mgr(6); // cs0 cs1 i ns0 ns1 (+1 spare)
     const std::uint32_t cs0 = 0, cs1 = 1, in = 2, ns0 = 3, ns1 = 4;
     const bdd t0 = mgr.var(in) & mgr.var(cs1);  // T0(i, cs)
-    const bdd t1 = !mgr.var(in) | mgr.var(cs0); // T1(i, cs)
-    const bdd from = !mgr.var(cs0) & !mgr.var(cs1);
+    const bdd t1 = (!mgr.var(in)) | mgr.var(cs0); // T1(i, cs)
+    const bdd from = (!mgr.var(cs0)) & (!mgr.var(cs1));
     // relational product
     const bdd rel = (mgr.var(ns0).iff(t0)) & (mgr.var(ns1).iff(t1));
     const bdd img_rel =

@@ -42,10 +42,10 @@ TEST_P(bdd_props, boolean_algebra) {
     EXPECT_EQ(f & (f | g), f);
     EXPECT_EQ(f | (f & g), f);
     EXPECT_EQ(f & (g | h), (f & g) | (f & h));
-    EXPECT_EQ(!(f & g), !f | !g);
-    EXPECT_EQ(!(f | g), !f & !g);
-    EXPECT_EQ(f ^ g, (f & !g) | (!f & g));
-    EXPECT_EQ(mgr.ite(f, g, h), (f & g) | (!f & h));
+    EXPECT_EQ(!(f & g), (!f) | (!g));
+    EXPECT_EQ(!(f | g), (!f) & (!g));
+    EXPECT_EQ(f ^ g, (f & !g) | ((!f) & g));
+    EXPECT_EQ(mgr.ite(f, g, h), (f & g) | ((!f) & h));
 }
 
 TEST_P(bdd_props, implication_and_containment) {
@@ -79,7 +79,7 @@ TEST_P(bdd_props, cofactor_shannon_expansion) {
     const bdd x = mgr.var(2);
     const bdd f1 = mgr.cofactor(f, x);
     const bdd f0 = mgr.cofactor(f, !x);
-    EXPECT_EQ(f, (x & f1) | (!x & f0));
+    EXPECT_EQ(f, (x & f1) | ((!x) & f0));
     // cofactors are independent of the cofactored variable
     for (const std::uint32_t v : mgr.support(f1)) { EXPECT_NE(v, 2u); }
 }

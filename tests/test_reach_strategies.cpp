@@ -1,0 +1,221 @@
+/// \file test_reach_strategies.cpp
+/// \brief The three reachability strategies (bfs / frontier / chaining) must
+/// be pure scheduling choices: on any machine, under any early-quantification
+/// x clustering combination, they reach the identical state set with the
+/// identical sat count and BFS layering.  Cross-checked on randomly generated
+/// networks (plus structured families) and on the language-equation solvers,
+/// whose subset construction plumbs the same strategy option.
+
+#include "eq/solver.hpp"
+#include "eq/verify.hpp"
+#include "img/image.hpp"
+#include "net/generator.hpp"
+#include "net/latch_split.hpp"
+#include "net/netbdd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <queue>
+#include <set>
+#include <vector>
+
+namespace {
+
+using namespace leq;
+
+struct circuit_vars {
+    std::vector<std::uint32_t> in, cs, ns;
+};
+
+std::pair<net_bdds, circuit_vars> setup(bdd_manager& mgr, const network& net) {
+    circuit_vars vars;
+    for (std::size_t k = 0; k < net.num_inputs(); ++k) {
+        vars.in.push_back(mgr.new_var());
+    }
+    for (std::size_t k = 0; k < net.num_latches(); ++k) {
+        vars.cs.push_back(mgr.new_var());
+        vars.ns.push_back(mgr.new_var());
+    }
+    net_bdds fns = build_net_bdds(mgr, net, vars.in, vars.cs);
+    return {std::move(fns), std::move(vars)};
+}
+
+/// Explicit BFS oracle (state count only; small machines).
+std::size_t explicit_reachable_count(const network& net) {
+    std::set<std::vector<bool>> seen;
+    std::queue<std::vector<bool>> work;
+    work.push(net.initial_state());
+    seen.insert(net.initial_state());
+    const std::size_t ni = net.num_inputs();
+    while (!work.empty()) {
+        const std::vector<bool> s = work.front();
+        work.pop();
+        for (std::size_t m = 0; m < (1u << ni); ++m) {
+            std::vector<bool> in(ni);
+            for (std::size_t b = 0; b < ni; ++b) {
+                in[b] = ((m >> b) & 1) != 0;
+            }
+            const auto r = net.simulate(s, in);
+            if (seen.insert(r.next_state).second) { work.push(r.next_state); }
+        }
+    }
+    return seen.size();
+}
+
+/// 24 machines: random sequential logic of varying shape plus a few
+/// structured families (deep counter, wide shift, LFSR, paired mix).
+network machine_for(int id) {
+    switch (id) {
+    case 0: return make_paper_example();
+    case 1: return make_counter(6);          // deep-sequential
+    case 2: return make_lfsr(6, {1, 4});
+    case 3: return make_shift_xor(7);        // wide-parallel
+    case 4: return make_traffic_controller();
+    case 5: {
+        structured_spec spec;
+        spec.num_latches = 8;
+        spec.seed = 5;
+        return make_structured_mix(spec);
+    }
+    default: {
+        random_spec spec;
+        spec.num_inputs = 1 + static_cast<std::size_t>(id) % 3;
+        spec.num_outputs = 1 + static_cast<std::size_t>(id) % 2;
+        spec.num_latches = 4 + static_cast<std::size_t>(id) % 5;
+        spec.max_fanin = 2 + static_cast<std::size_t>(id) % 3;
+        spec.seed = static_cast<std::uint32_t>(7000 + 13 * id);
+        return make_random_sequential(spec);
+    }
+    }
+}
+
+/// The full option matrix the engine supports: 3 strategies x
+/// early-quantification on/off x clustering off/default.
+std::vector<image_options> option_matrix() {
+    std::vector<image_options> matrix;
+    for (const reach_strategy strategy : all_reach_strategies) {
+        for (const bool early : {true, false}) {
+            for (const std::size_t cluster : {std::size_t{0},
+                                              std::size_t{2500}}) {
+                image_options o;
+                o.strategy = strategy;
+                o.early_quantification = early;
+                o.cluster_limit = cluster;
+                matrix.push_back(o);
+            }
+        }
+    }
+    return matrix;
+}
+
+class reach_strategies : public ::testing::TestWithParam<int> {};
+
+TEST_P(reach_strategies, identical_reached_set_across_option_matrix) {
+    const network net = machine_for(GetParam());
+    bdd_manager mgr;
+    auto [fns, vars] = setup(mgr, net);
+    const bdd init = state_cube(mgr, vars.cs, net.initial_state());
+    const auto nbits = static_cast<std::uint32_t>(vars.cs.size());
+
+    const bdd reference = reachable_states(mgr, fns.next_state, vars.cs,
+                                           vars.ns, vars.in, init);
+    const double ref_count = mgr.sat_count(reference, nbits);
+    for (const image_options& options : option_matrix()) {
+        const bdd reached = reachable_states(mgr, fns.next_state, vars.cs,
+                                             vars.ns, vars.in, init, options);
+        EXPECT_EQ(reached, reference)
+            << "machine " << GetParam() << " strategy "
+            << to_string(options.strategy) << " early "
+            << options.early_quantification << " cluster "
+            << options.cluster_limit;
+        EXPECT_DOUBLE_EQ(mgr.sat_count(reached, nbits), ref_count);
+    }
+}
+
+TEST_P(reach_strategies, identical_layering_and_depth) {
+    const network net = machine_for(GetParam());
+    bdd_manager mgr;
+    auto [fns, vars] = setup(mgr, net);
+    const bdd init = state_cube(mgr, vars.cs, net.initial_state());
+
+    // every strategy adds exactly the BFS layer Img(R_k) \ R_k per step, so
+    // depth and per-layer counts agree, not just the fixpoint
+    image_options options;
+    options.strategy = reach_strategy::frontier;
+    const reach_info reference = reachable_states_layered(
+        mgr, fns.next_state, vars.cs, vars.ns, vars.in, init, options);
+    for (const reach_strategy strategy :
+         {reach_strategy::bfs, reach_strategy::chaining}) {
+        options.strategy = strategy;
+        const reach_info info = reachable_states_layered(
+            mgr, fns.next_state, vars.cs, vars.ns, vars.in, init, options);
+        EXPECT_EQ(info.reached, reference.reached);
+        EXPECT_EQ(info.depth, reference.depth) << to_string(strategy);
+        EXPECT_EQ(info.layer_states, reference.layer_states)
+            << to_string(strategy);
+        EXPECT_DOUBLE_EQ(info.total_states, reference.total_states);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(random_machines, reach_strategies,
+                         ::testing::Range(0, 24));
+
+TEST(reach_strategies_oracle, sat_count_matches_explicit_bfs) {
+    for (int id = 0; id < 8; ++id) {
+        const network net = machine_for(id);
+        if (net.num_inputs() > 4 || net.num_latches() > 10) { continue; }
+        bdd_manager mgr;
+        auto [fns, vars] = setup(mgr, net);
+        const bdd init = state_cube(mgr, vars.cs, net.initial_state());
+        const auto oracle =
+            static_cast<double>(explicit_reachable_count(net));
+        for (const reach_strategy strategy : all_reach_strategies) {
+            image_options options;
+            options.strategy = strategy;
+            const bdd reached = reachable_states(
+                mgr, fns.next_state, vars.cs, vars.ns, vars.in, init, options);
+            EXPECT_DOUBLE_EQ(
+                mgr.sat_count(reached,
+                              static_cast<std::uint32_t>(vars.cs.size())),
+                oracle)
+                << "machine " << id << " strategy " << to_string(strategy);
+        }
+    }
+}
+
+TEST(reach_strategies_solver, csf_invariant_under_strategy) {
+    // the subset construction plumbs the strategy into its image engines and
+    // worklist discipline; the CSF language must not depend on it
+    const std::vector<std::pair<network, std::vector<std::size_t>>> instances =
+        {{make_paper_example(), {1}},
+         {make_counter(3), {0, 1}},
+         {make_shift_xor(3), {1, 2}}};
+    for (const auto& [original, x_latches] : instances) {
+        const split_result split = split_latches(original, x_latches);
+        const equation_problem problem(split.fixed, original);
+
+        solve_options base;
+        base.img.strategy = reach_strategy::frontier;
+        const solve_result reference = solve_partitioned(problem, base);
+        ASSERT_EQ(reference.status, solve_status::ok);
+        for (const reach_strategy strategy :
+             {reach_strategy::bfs, reach_strategy::chaining}) {
+            solve_options options;
+            options.img.strategy = strategy;
+            const solve_result part = solve_partitioned(problem, options);
+            const solve_result mono = solve_monolithic(problem, options);
+            ASSERT_EQ(part.status, solve_status::ok);
+            ASSERT_EQ(mono.status, solve_status::ok);
+            EXPECT_EQ(part.subset_states_explored,
+                      reference.subset_states_explored)
+                << to_string(strategy);
+            EXPECT_EQ(part.csf_states, reference.csf_states);
+            EXPECT_TRUE(language_equivalent(*part.csf, *reference.csf))
+                << original.name() << " " << to_string(strategy);
+            EXPECT_TRUE(language_equivalent(*mono.csf, *reference.csf))
+                << original.name() << " " << to_string(strategy);
+        }
+    }
+}
+
+} // namespace
