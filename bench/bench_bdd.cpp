@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
 namespace {
 
 using namespace leq;
@@ -111,6 +113,69 @@ void bm_permute(benchmark::State& state) {
     }
 }
 BENCHMARK(bm_permute)->Arg(8)->Arg(16)->Arg(32);
+
+/// Negation throughput: with complement edges this is a bit flip per call.
+void bm_not(benchmark::State& state) {
+    const auto bits = static_cast<std::uint32_t>(state.range(0));
+    bdd_manager mgr(2 * bits);
+    const std::vector<bdd> sums = adder_sums(mgr, bits);
+    // conjoin the sum bits but not the carry-out (that would force zero)
+    bdd f = mgr.one();
+    for (std::size_t k = 0; k + 1 < sums.size(); ++k) { f &= sums[k]; }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(!f);
+    }
+    state.counters["nodes_f"] = static_cast<double>(mgr.dag_size(f));
+    state.counters["nodes_not_f"] = static_cast<double>(mgr.dag_size(!f));
+}
+BENCHMARK(bm_not)->Arg(8)->Arg(16)->Arg(32);
+
+/// Both phases of many functions held live: complement edges keep the node
+/// count flat where a phase-blind package stores f and !f separately.
+void bm_phase_pairs_live(benchmark::State& state) {
+    const auto bits = static_cast<std::uint32_t>(state.range(0));
+    for (auto _ : state) {
+        // manager/adder construction, the GC inside live_node_count, and the
+        // manager teardown are all kept out of the timed region: the subject
+        // is only the cost of materializing both phases
+        state.PauseTiming();
+        auto mgr = std::make_unique<bdd_manager>(2 * bits);
+        std::vector<bdd> sums = adder_sums(*mgr, bits);
+        std::vector<bdd> keep;
+        state.ResumeTiming();
+        for (const bdd& s : sums) {
+            keep.push_back(s);
+            keep.push_back(!s);
+        }
+        benchmark::DoNotOptimize(keep);
+        state.PauseTiming();
+        state.counters["live_nodes"] =
+            static_cast<double>(mgr->live_node_count());
+        keep.clear();
+        sums.clear();
+        mgr.reset();
+        state.ResumeTiming();
+    }
+}
+BENCHMARK(bm_phase_pairs_live)->Arg(8)->Arg(16)->Arg(32);
+
+/// De Morgan-shaped recomputation: ~(~f | ~g) after f & g should be pure
+/// cache hits under ITE standard triples.
+void bm_demorgan_refold(benchmark::State& state) {
+    const auto bits = static_cast<std::uint32_t>(state.range(0));
+    bdd_manager mgr(2 * bits);
+    const std::vector<bdd> sums = adder_sums(mgr, bits);
+    bdd f = mgr.one(), g = mgr.one();
+    for (std::uint32_t k = 0; k < sums.size(); ++k) {
+        (k % 2 ? f : g) &= sums[k];
+    }
+    for (auto _ : state) {
+        const bdd direct = f & g;
+        const bdd refolded = !((!f) | (!g));
+        benchmark::DoNotOptimize(direct == refolded);
+    }
+}
+BENCHMARK(bm_demorgan_refold)->Arg(8)->Arg(16)->Arg(32);
 
 void bm_gc_pressure(benchmark::State& state) {
     bdd_manager mgr(32);

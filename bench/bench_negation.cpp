@@ -1,0 +1,156 @@
+/// \file bench_negation.cpp
+/// \brief Negation-heavy workloads: the benchmark behind the complement-edge
+/// decision.  Plain executable (no google-benchmark dependency) printing a
+/// markdown table so before/after runs can be diffed directly.
+///
+/// Workloads mirror the negation-heavy steps of the X = A-solve-B flow:
+/// completion and complementation negate large intermediate languages over
+/// and over, and De Morgan-shaped rewrites (~(~f | ~g) vs f & g) either hit
+/// one shared cache line (complement edges) or recompute (without).
+
+#include "bdd/bdd.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <random>
+#include <vector>
+
+namespace {
+
+using namespace leq;
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/// n-bit ripple-carry adder sum bits conjoined: a classic mid-size function.
+bdd adder_conjunction(bdd_manager& mgr, std::uint32_t bits) {
+    bdd carry = mgr.zero();
+    bdd acc = mgr.one();
+    for (std::uint32_t k = 0; k < bits; ++k) {
+        const bdd a = mgr.var(2 * k);
+        const bdd b = mgr.var(2 * k + 1);
+        acc &= (a ^ b ^ carry);
+        carry = (a & b) | (carry & (a ^ b));
+    }
+    return acc;
+}
+
+bdd random_function(bdd_manager& mgr, std::uint32_t nvars, std::uint32_t seed,
+                    std::size_t ops) {
+    std::mt19937 rng(seed);
+    std::uniform_int_distribution<std::uint32_t> pick_var(0, nvars - 1);
+    std::uniform_int_distribution<int> pick_op(0, 2);
+    bdd f = mgr.literal(pick_var(rng), (rng() & 1u) != 0);
+    for (std::size_t k = 0; k < ops; ++k) {
+        const bdd lit = mgr.literal(pick_var(rng), (rng() & 1u) != 0);
+        switch (pick_op(rng)) {
+        case 0: f = f & lit; break;
+        case 1: f = f | lit; break;
+        default: f = f ^ lit; break;
+        }
+    }
+    return f;
+}
+
+void row(const char* name, double ms, std::size_t nodes) {
+    std::printf("| %-34s | %10.3f | %10zu |\n", name, ms, nodes);
+}
+
+} // namespace
+
+int main() {
+    std::printf("| workload                           |    time ms |      nodes |\n");
+    std::printf("| ---------------------------------- | ---------- | ---------- |\n");
+
+    // 1. repeated negation of one large function (hot loop of completion)
+    {
+        bdd_manager mgr(40);
+        const bdd f = adder_conjunction(mgr, 20);
+        volatile bool sink = false;
+        const auto t0 = std::chrono::steady_clock::now();
+        for (int k = 0; k < 200000; ++k) {
+            const bdd nf = !f;
+            sink = nf.is_zero();
+        }
+        (void)sink;
+        row("negate x200k (adder-20)", ms_since(t0), mgr.live_node_count());
+    }
+
+    // 2. f and !f held together: node cost of keeping both phases live
+    {
+        bdd_manager mgr(24);
+        std::vector<bdd> keep;
+        for (std::uint32_t s = 0; s < 24; ++s) {
+            const bdd f = random_function(mgr, 24, 1000 + s, 90);
+            keep.push_back(f);
+            keep.push_back(!f);
+        }
+        row("24 random f plus !f live", 0.0, mgr.live_node_count());
+    }
+
+    // 3. fresh negations, cold cache each round (GC clears the cache):
+    //    negation cost that a computed cache cannot amortize.  Only the
+    //    negation loop is timed; the cache-clearing GC between rounds is not.
+    {
+        bdd_manager mgr(20);
+        std::vector<bdd> funcs;
+        for (std::uint32_t s = 0; s < 64; ++s) {
+            funcs.push_back(random_function(mgr, 20, 77 * s + 3, 70));
+        }
+        double negate_ms = 0.0;
+        double checksum = 0.0;
+        for (int round = 0; round < 40; ++round) {
+            mgr.collect_garbage(); // clears the computed cache (untimed)
+            const auto t0 = std::chrono::steady_clock::now();
+            for (const bdd& f : funcs) { checksum += (!f).is_one() ? 1 : 0; }
+            negate_ms += ms_since(t0);
+        }
+        (void)checksum;
+        row("cold-cache negate 64x40", negate_ms, mgr.live_node_count());
+    }
+
+    // 4. De Morgan sharing: compute f&g then ~(~f | ~g) for many pairs; with
+    //    complement edges the second form is the same cache line
+    {
+        bdd_manager mgr(18);
+        std::vector<bdd> fs, gs;
+        for (std::uint32_t s = 0; s < 48; ++s) {
+            fs.push_back(random_function(mgr, 18, 5000 + s, 60));
+            gs.push_back(random_function(mgr, 18, 6000 + s, 60));
+        }
+        const auto t0 = std::chrono::steady_clock::now();
+        std::size_t mismatches = 0;
+        for (int round = 0; round < 60; ++round) {
+            for (std::size_t k = 0; k < fs.size(); ++k) {
+                const bdd direct = fs[k] & gs[k];
+                const bdd demorgan = !((!fs[k]) | (!gs[k]));
+                mismatches += direct == demorgan ? 0 : 1;
+            }
+        }
+        std::uint64_t lookups = mgr.stats().cache_lookups;
+        (void)lookups;
+        row(mismatches == 0 ? "demorgan and-pairs 48x60"
+                            : "demorgan and-pairs 48x60 (MISMATCH)",
+            ms_since(t0), mgr.live_node_count());
+    }
+
+    // 5. xor-complement identities: parity chains and their negations
+    {
+        bdd_manager mgr(64);
+        const auto t0 = std::chrono::steady_clock::now();
+        bdd acc = mgr.zero();
+        for (int round = 0; round < 300; ++round) {
+            acc = mgr.zero();
+            for (std::uint32_t v = 0; v < 64; ++v) {
+                acc ^= (v & 1) ? !mgr.var(v) : mgr.var(v);
+            }
+        }
+        row("negated-literal parity-64 x300", ms_since(t0),
+            mgr.dag_size(acc));
+    }
+
+    return 0;
+}

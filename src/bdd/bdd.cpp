@@ -75,17 +75,17 @@ bool bdd::leq(const bdd& other) const {
 
 std::uint32_t bdd::top_var() const {
     assert(mgr_ != nullptr && idx_ > 1);
-    return mgr_->nodes_[idx_].var;
+    return mgr_->var_of(idx_);
 }
 
 bdd bdd::high() const {
     assert(mgr_ != nullptr && idx_ > 1);
-    return bdd(mgr_, mgr_->nodes_[idx_].hi);
+    return bdd(mgr_, mgr_->hi_of(idx_));
 }
 
 bdd bdd::low() const {
     assert(mgr_ != nullptr && idx_ > 1);
-    return bdd(mgr_, mgr_->nodes_[idx_].lo);
+    return bdd(mgr_, mgr_->lo_of(idx_));
 }
 
 // ---------------------------------------------------------------------------
@@ -94,10 +94,10 @@ bdd bdd::low() const {
 
 bdd_manager::bdd_manager(std::uint32_t num_vars, unsigned cache_bits) {
     nodes_.reserve(1u << 12);
-    // constants: index 0 = FALSE, index 1 = TRUE
+    // node 0: the single terminal, denoting FALSE as a regular reference
+    // (reference 0 = FALSE, reference 1 = TRUE)
     nodes_.push_back({var_nil, 0, 0, idx_nil});
-    nodes_.push_back({var_nil, 1, 1, idx_nil});
-    ext_ref_.assign(2, 1); // constants are permanently live
+    ext_ref_.assign(1, 1); // the terminal is permanently live
     buckets_.assign(1u << 12, idx_nil);
     cache_.assign(std::size_t{1} << cache_bits, cache_entry{});
     cache_mask_ = (std::uint64_t{1} << cache_bits) - 1;
@@ -131,17 +131,21 @@ bdd bdd_manager::nvar(std::uint32_t v) {
 std::uint32_t bdd_manager::mk(std::uint32_t var, std::uint32_t lo,
                               std::uint32_t hi) {
     if (lo == hi) { return lo; }
+    // canonical form: hoist the then-edge's complement bit onto the result
+    const std::uint32_t out = hi & 1u;
+    lo ^= out;
+    hi ^= out;
     const std::uint64_t h = node_hash(var, lo, hi) & (buckets_.size() - 1);
     for (std::uint32_t i = buckets_[h]; i != idx_nil; i = nodes_[i].next) {
         const node& n = nodes_[i];
-        if (n.var == var && n.lo == lo && n.hi == hi) { return i; }
+        if (n.var == var && n.lo == lo && n.hi == hi) { return (i << 1) | out; }
     }
     const std::uint32_t idx = alloc_node();
     // alloc_node may have rehashed (grown) the table: recompute the bucket
     const std::uint64_t h2 = node_hash(var, lo, hi) & (buckets_.size() - 1);
     nodes_[idx] = {var, lo, hi, buckets_[h2]};
     buckets_[h2] = idx;
-    return idx;
+    return (idx << 1) | out;
 }
 
 std::uint32_t bdd_manager::alloc_node() {
@@ -151,10 +155,19 @@ std::uint32_t bdd_manager::alloc_node() {
         return idx;
     }
     const auto idx = static_cast<std::uint32_t>(nodes_.size());
-    if (idx == idx_nil) { throw std::length_error("bdd_manager: node arena full"); }
+    if (idx >= (1u << 31) - 1) {
+        // node indices must leave room for the complement bit, and index
+        // 2^31-1 is excluded outright: its complemented reference would be
+        // 0xffffffff, aliasing the idx_nil sentinel the memo tables use
+        throw std::length_error("bdd_manager: node arena full");
+    }
+    // grow the table before pushing the fresh node: rehash() reinserts every
+    // arena node, and the caller has not filled this one in yet — inserting
+    // it with garbage content would chain-corrupt a bucket once the caller
+    // overwrites its `next` pointer
+    if (nodes_.size() + 1 > buckets_.size()) { rehash(buckets_.size() * 2); }
     nodes_.push_back({});
     ext_ref_.push_back(0);
-    if (nodes_.size() > buckets_.size()) { rehash(buckets_.size() * 2); }
     return idx;
 }
 
@@ -171,18 +184,18 @@ void bdd_manager::rehash(std::size_t new_size) {
     // the next GC)
     assert(free_list_.empty());
     buckets_.assign(new_size, idx_nil);
-    for (std::uint32_t i = 2; i < nodes_.size(); ++i) { unique_insert(i); }
+    for (std::uint32_t i = 1; i < nodes_.size(); ++i) { unique_insert(i); }
 }
 
 // ---------------------------------------------------------------------------
 // external references and garbage collection
 // ---------------------------------------------------------------------------
 
-void bdd_manager::inc_ext_ref(std::uint32_t idx) { ++ext_ref_[idx]; }
+void bdd_manager::inc_ext_ref(std::uint32_t ref) { ++ext_ref_[node_of(ref)]; }
 
-void bdd_manager::dec_ext_ref(std::uint32_t idx) {
-    assert(ext_ref_[idx] > 0);
-    --ext_ref_[idx];
+void bdd_manager::dec_ext_ref(std::uint32_t ref) {
+    assert(ext_ref_[node_of(ref)] > 0);
+    --ext_ref_[node_of(ref)];
 }
 
 void bdd_manager::maybe_gc_or_grow() {
@@ -198,19 +211,20 @@ void bdd_manager::maybe_gc_or_grow() {
 void bdd_manager::collect_garbage() {
     ++stats_.gc_runs;
     mark_.assign(nodes_.size(), 0);
-    mark_[0] = mark_[1] = 1;
-    std::vector<std::uint32_t> stack;
-    for (std::uint32_t i = 2; i < nodes_.size(); ++i) {
+    mark_[0] = 1;
+    std::vector<std::uint32_t> stack; // node indices
+    for (std::uint32_t i = 1; i < nodes_.size(); ++i) {
         if (ext_ref_[i] > 0 && !mark_[i]) {
             stack.push_back(i);
             mark_[i] = 1;
             while (!stack.empty()) {
                 const std::uint32_t n = stack.back();
                 stack.pop_back();
-                for (const std::uint32_t c : {nodes_[n].lo, nodes_[n].hi}) {
+                for (const std::uint32_t edge : {nodes_[n].lo, nodes_[n].hi}) {
+                    const std::uint32_t c = node_of(edge);
                     if (!mark_[c]) {
                         mark_[c] = 1;
-                        if (c > 1) { stack.push_back(c); }
+                        stack.push_back(c);
                     }
                 }
             }
@@ -219,8 +233,8 @@ void bdd_manager::collect_garbage() {
     // sweep: rebuild unique table with only live nodes
     free_list_.clear();
     for (auto& b : buckets_) { b = idx_nil; }
-    std::size_t live = 2;
-    for (std::uint32_t i = 2; i < nodes_.size(); ++i) {
+    std::size_t live = 1;
+    for (std::uint32_t i = 1; i < nodes_.size(); ++i) {
         if (mark_[i]) {
             unique_insert(i);
             ++live;

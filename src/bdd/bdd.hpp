@@ -1,25 +1,50 @@
 /// \file bdd.hpp
-/// \brief A self-contained ROBDD package (substitute for CUDD in this build).
+/// \brief A self-contained ROBDD package with complement edges (substitute
+/// for CUDD in this build).
 ///
-/// The package implements reduced ordered binary decision diagrams with a
-/// unique table, a direct-mapped computed cache, mark-and-sweep garbage
-/// collection driven by externally held handles, quantification,
-/// relational-product (and-exists), variable permutation and composition.
+/// The package implements reduced ordered binary decision diagrams with
+/// complement edges, a unique table, a direct-mapped computed cache,
+/// mark-and-sweep garbage collection driven by externally held handles,
+/// quantification, relational-product (and-exists), variable permutation,
+/// composition and in-place dynamic reordering.
 ///
 /// Design notes:
-///  * Nodes are addressed by 32-bit indices; index 0 is the constant FALSE
-///    and index 1 the constant TRUE.  Handles (`leq::bdd`) are RAII wrappers
-///    that register the root with the manager so garbage collection never
-///    frees live results.
-///  * No complement edges: negation is a cached operation.  This keeps the
-///    canonical form simple; the computed cache makes repeated negation
-///    cheap.
+///  * **Handles are tagged edges.**  A reference is a 32-bit word
+///    `(node_index << 1) | complement`: the low bit is the complement
+///    ("NOT") mark, the upper 31 bits address a node in the arena.  Node 0
+///    is the single terminal and denotes FALSE as a regular (untagged)
+///    reference, so reference 0 is the constant FALSE and reference 1
+///    (terminal + complement bit) is TRUE — the same two handle values the
+///    package exposed before complement edges.  `bdd::index()` returns the
+///    tagged reference; it remains a canonical key: two handles denote the
+///    same function iff their references are equal.
+///  * **Canonical form: the then-edge is regular.**  `(var, lo, hi)` and
+///    `(var, ~lo, ~hi)` denote complementary functions; to keep references
+///    canonical exactly one of the pair may exist.  The unique table only
+///    stores nodes whose then (hi) edge carries no complement bit; building
+///    the other phase returns the stored node with the complement bit set
+///    on the reference instead.  Consequently a function and its negation
+///    always share every node, and negation (`bdd_not`) is a constant-time
+///    bit flip — no cache lookup, no allocation.
+///  * **ITE standard triples.**  `ite(f,g,h)` is normalized before the
+///    computed-cache lookup: repeated/complementary operands are reduced,
+///    constant-branch cases are delegated to AND/XOR (OR is `~(~f & ~g)`
+///    and shares the AND cache line), the predicate is made regular via
+///    `ite(f,g,h) = ite(~f,h,g)`, and a complement bit on the then-branch
+///    is hoisted out via `ite(f,g,h) = ~ite(f,~g,~h)`.  Thus `f & g`,
+///    `~(~f | ~g)`, `ite(g,f,0)` … all resolve to one cache entry.
+///  * **GC.**  Handles (`leq::bdd`) are RAII wrappers maintaining an
+///    external reference count per node (the complement bit does not matter
+///    for liveness).  Mark-and-sweep runs between public operations only,
+///    so raw references inside recursive cores never escape a GC.
 ///  * Variables are identified by a stable id; the manager maps ids to
-///    levels so the order can differ from creation order.  Orders are
-///    static: the language-equation solver pins the (u,v) block at the top
-///    of the order (its subset construction reads successor classes straight
-///    off the BDD structure), so dynamic reordering is deliberately not
-///    offered.  Choose the order up front with set_var_order().
+///    levels so the order can differ from creation order.  The
+///    language-equation solver pins the (u,v) block at the top of the order
+///    and chooses it up front with set_var_order(); sifting-based dynamic
+///    reordering (reorder_sift and friends) is offered for the substrate
+///    benchmarks and standalone use.  Reordering rewrites node *contents*
+///    in place, preserving the regular-then-edge invariant, so indices — and
+///    therefore all outstanding handles — stay valid.
 #pragma once
 
 #include <cstdint>
@@ -49,7 +74,8 @@ public:
     [[nodiscard]] bool is_one() const;
     [[nodiscard]] bool is_const() const { return is_zero() || is_one(); }
 
-    /// Structural equality: canonical BDDs are equal iff the indices match.
+    /// Structural equality: canonical BDDs are equal iff the references
+    /// (node index + complement bit) match.
     friend bool operator==(const bdd& a, const bdd& b) {
         return a.mgr_ == b.mgr_ && a.idx_ == b.idx_;
     }
@@ -58,6 +84,7 @@ public:
     bdd operator&(const bdd& other) const;
     bdd operator|(const bdd& other) const;
     bdd operator^(const bdd& other) const;
+    /// Negation: O(1) complement-bit flip (no cache lookup, no allocation).
     bdd operator!() const;
     bdd& operator&=(const bdd& other);
     bdd& operator|=(const bdd& other);
@@ -73,12 +100,14 @@ public:
 
     /// Top variable id; only valid on non-constant nodes.
     [[nodiscard]] std::uint32_t top_var() const;
-    /// Positive/negative cofactor with respect to the top variable.
+    /// Positive/negative cofactor with respect to the top variable (the
+    /// complement bit of this reference is pushed into the result).
     [[nodiscard]] bdd high() const;
     [[nodiscard]] bdd low() const;
 
     [[nodiscard]] bdd_manager* manager() const { return mgr_; }
-    /// Raw node index (stable across GC; for use as a hash/map key).
+    /// Raw tagged reference: (node index << 1) | complement bit.  Stable
+    /// across GC and reordering; canonical, so usable as a hash/map key.
     [[nodiscard]] std::uint32_t index() const { return idx_; }
 
 private:
@@ -103,7 +132,7 @@ struct bdd_stats {
 
 /// The BDD manager: node arena, unique table, computed cache and the
 /// recursive algorithms.  All `bdd` handles stay valid across garbage
-/// collection and dynamic reordering (indices are stable; reordering
+/// collection and dynamic reordering (references are stable; reordering
 /// rewrites node contents in place).
 class bdd_manager {
 public:
@@ -147,12 +176,14 @@ public:
     [[nodiscard]] bdd apply_and(const bdd& f, const bdd& g);
     [[nodiscard]] bdd apply_or(const bdd& f, const bdd& g);
     [[nodiscard]] bdd apply_xor(const bdd& f, const bdd& g);
+    /// O(1): flips the complement bit of the reference.
     [[nodiscard]] bdd apply_not(const bdd& f);
     [[nodiscard]] bdd ite(const bdd& f, const bdd& g, const bdd& h);
 
     /// Existential quantification of all variables in `cube` (a positive
     /// product of the variables to eliminate).
     [[nodiscard]] bdd exists(const bdd& f, const bdd& cube);
+    /// Universal quantification: the complement-edge dual !exists(!f, cube).
     [[nodiscard]] bdd forall(const bdd& f, const bdd& cube);
     /// Relational product: exists(cube, f & g) computed in one pass.
     [[nodiscard]] bdd and_exists(const bdd& f, const bdd& g, const bdd& cube);
@@ -186,7 +217,8 @@ public:
     [[nodiscard]] bdd support_cube(const bdd& f);
     /// Support of f as a sorted list of variable ids.
     [[nodiscard]] std::vector<std::uint32_t> support(const bdd& f);
-    /// Number of DAG nodes (including constants) reachable from f.
+    /// Number of DAG nodes (including the terminal) reachable from f.  With
+    /// complement edges f and !f have identical size by construction.
     [[nodiscard]] std::size_t dag_size(const bdd& f);
     /// Number of satisfying assignments over `nvars` variables.
     [[nodiscard]] double sat_count(const bdd& f, std::uint32_t nvars);
@@ -203,11 +235,11 @@ public:
     [[nodiscard]] bdd cube(const std::vector<std::uint32_t>& vars);
 
     // ---- dynamic reordering ------------------------------------------------
-    // Reordering rewrites nodes in place (indices keep denoting the same
+    // Reordering rewrites nodes in place (references keep denoting the same
     // function), so every live `bdd` handle stays valid.  The solver pins the
     // (u,v) block at the top of its orders and therefore never calls these;
     // they are offered for the substrate benchmarks and for standalone use of
-    // the package.  The computed cache survives: node indices keep their
+    // the package.  The computed cache survives: references keep their
     // denotation, and dead nodes are only reclaimed by the final collection,
     // which clears the cache.
 
@@ -238,9 +270,11 @@ public:
         const std::vector<std::vector<std::uint32_t>>& groups,
         double max_growth = 1.2);
 
-    /// Exhaustive structural check of the unique table and ordering
+    /// Exhaustive structural check of the unique table and the canonicity
     /// invariants (children below parents, no lo==hi nodes, no duplicate
-    /// (var,lo,hi) keys).  Throws std::logic_error on violation; for tests.
+    /// (var,lo,hi) keys, every stored then-edge regular — which is what
+    /// guarantees a node and its complement can never both sit in the
+    /// table).  Throws std::logic_error on violation; for tests.
     void check_consistency() const;
 
     // ---- maintenance -----------------------------------------------------
@@ -257,18 +291,21 @@ public:
 private:
     friend class bdd;
 
+    /// Arena node.  `lo`/`hi` are tagged references; the canonical-form
+    /// invariant keeps `hi` regular (complement bit clear) for every node
+    /// stored in the unique table.
     struct node {
-        std::uint32_t var;  ///< variable id; var_nil for constants
-        std::uint32_t lo;   ///< else-child (var = 0)
-        std::uint32_t hi;   ///< then-child (var = 1)
+        std::uint32_t var;  ///< variable id; var_nil for the terminal
+        std::uint32_t lo;   ///< else-edge reference (var = 0)
+        std::uint32_t hi;   ///< then-edge reference (var = 1), always regular
         std::uint32_t next; ///< unique-table chain
     };
     static constexpr std::uint32_t var_nil = 0xffffffffu;
     static constexpr std::uint32_t idx_nil = 0xffffffffu;
 
     enum class op : std::uint8_t {
-        and_op, or_op, xor_op, not_op, ite_op, exists_op, forall_op,
-        and_exists_op, support_op, cofactor_op, constrain_op, restrict_op
+        and_op, xor_op, ite_op, exists_op, and_exists_op, support_op,
+        cofactor_op, constrain_op, restrict_op
     };
 
     struct cache_entry {
@@ -279,12 +316,42 @@ private:
         std::uint8_t o = 0xff;
     };
 
-    // node access helpers
-    [[nodiscard]] std::uint32_t level(std::uint32_t idx) const {
-        const node& n = nodes_[idx];
+    // ---- tagged-reference helpers ---------------------------------------
+    /// Node index addressed by a reference.
+    [[nodiscard]] static constexpr std::uint32_t node_of(std::uint32_t r) {
+        return r >> 1;
+    }
+    /// Complement bit of a reference (0 or 1).
+    [[nodiscard]] static constexpr std::uint32_t comp_of(std::uint32_t r) {
+        return r & 1u;
+    }
+    [[nodiscard]] static constexpr bool is_comp(std::uint32_t r) {
+        return (r & 1u) != 0;
+    }
+    /// Regular (untagged) version of a reference.
+    [[nodiscard]] static constexpr std::uint32_t regular(std::uint32_t r) {
+        return r & ~1u;
+    }
+    /// Terminal test: references 0 (FALSE) and 1 (TRUE) address node 0.
+    [[nodiscard]] static constexpr bool is_terminal(std::uint32_t r) {
+        return r <= 1;
+    }
+    /// Else-cofactor of a reference: the stored edge with the reference's
+    /// complement bit pushed through.
+    [[nodiscard]] std::uint32_t lo_of(std::uint32_t r) const {
+        return nodes_[r >> 1].lo ^ (r & 1u);
+    }
+    /// Then-cofactor of a reference.
+    [[nodiscard]] std::uint32_t hi_of(std::uint32_t r) const {
+        return nodes_[r >> 1].hi ^ (r & 1u);
+    }
+    [[nodiscard]] std::uint32_t var_of(std::uint32_t r) const {
+        return nodes_[r >> 1].var;
+    }
+    [[nodiscard]] std::uint32_t level(std::uint32_t r) const {
+        const node& n = nodes_[r >> 1];
         return n.var == var_nil ? var_nil : var2level_[n.var];
     }
-    [[nodiscard]] bool is_terminal(std::uint32_t idx) const { return idx <= 1; }
 
     /// Shared hash for the unique table and the computed cache.
     static std::uint64_t node_hash(std::uint64_t a, std::uint64_t b,
@@ -295,6 +362,9 @@ private:
         return h;
     }
 
+    /// Find-or-create the node (var, lo, hi) and return its reference.  The
+    /// complement bit of `hi` is hoisted onto the returned reference so the
+    /// stored then-edge stays regular.
     std::uint32_t mk(std::uint32_t var, std::uint32_t lo, std::uint32_t hi);
     std::uint32_t alloc_node();
     void unique_insert(std::uint32_t idx);
@@ -306,17 +376,18 @@ private:
     // populated between reorder_begin and reorder_end
     void reorder_begin();
     void reorder_end();
-    void rc_incref(std::uint32_t idx);
-    void rc_deref(std::uint32_t idx);
+    void rc_incref(std::uint32_t ref);
+    void rc_deref(std::uint32_t ref);
     std::uint32_t reorder_mk(std::uint32_t var, std::uint32_t lo,
                              std::uint32_t hi);
     std::size_t swap_levels(std::uint32_t level);
     void sift_core(std::uint32_t var, double max_growth);
     [[nodiscard]] std::size_t var_node_count(std::uint32_t var) const;
 
-    // external reference counting used as GC roots
-    void inc_ext_ref(std::uint32_t idx);
-    void dec_ext_ref(std::uint32_t idx);
+    // external reference counting used as GC roots (per node; the complement
+    // bit of the held reference is irrelevant for liveness)
+    void inc_ext_ref(std::uint32_t ref);
+    void dec_ext_ref(std::uint32_t ref);
 
     // computed cache
     bool cache_lookup(op o, std::uint32_t f, std::uint32_t g, std::uint32_t h,
@@ -325,15 +396,16 @@ private:
                      std::uint32_t result);
     void cache_clear();
 
-    // recursive cores (raw indices; protected from GC because GC only runs
-    // between public operations)
+    // recursive cores (tagged references; protected from GC because GC only
+    // runs between public operations)
     std::uint32_t and_rec(std::uint32_t f, std::uint32_t g);
-    std::uint32_t or_rec(std::uint32_t f, std::uint32_t g);
+    /// De Morgan wrapper: shares the AND cache.
+    std::uint32_t or_rec(std::uint32_t f, std::uint32_t g) {
+        return and_rec(f ^ 1u, g ^ 1u) ^ 1u;
+    }
     std::uint32_t xor_rec(std::uint32_t f, std::uint32_t g);
-    std::uint32_t not_rec(std::uint32_t f);
     std::uint32_t ite_rec(std::uint32_t f, std::uint32_t g, std::uint32_t h);
     std::uint32_t exists_rec(std::uint32_t f, std::uint32_t cube);
-    std::uint32_t forall_rec(std::uint32_t f, std::uint32_t cube);
     std::uint32_t and_exists_rec(std::uint32_t f, std::uint32_t g,
                                  std::uint32_t cube);
     std::uint32_t support_rec(std::uint32_t f);
@@ -353,7 +425,7 @@ private:
     [[nodiscard]] bdd make(std::uint32_t idx) { return bdd(this, idx); }
 
     // data
-    std::vector<node> nodes_;
+    std::vector<node> nodes_;              ///< arena; node 0 is the terminal
     std::vector<std::uint32_t> ext_ref_;   ///< external refs per node
     std::vector<std::uint32_t> free_list_;
     std::vector<std::uint32_t> buckets_;   ///< unique table (power of two)

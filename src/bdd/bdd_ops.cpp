@@ -1,10 +1,16 @@
 /// \file bdd_ops.cpp
-/// \brief Boolean connectives: AND, OR, XOR, NOT and the general ITE.
+/// \brief Boolean connectives: AND (OR rides it via De Morgan), XOR with
+/// complement-bit hoisting, O(1) NOT, and the general ITE with standard
+/// triples.
 ///
 /// Each operation is a standard Shannon-expansion recursion memoized in the
-/// manager's computed cache.  Public entry points run GC housekeeping first;
-/// recursive cores never trigger GC, so intermediate results (reachable only
-/// from the C++ call stack) are safe.
+/// manager's computed cache.  Complement edges collapse the op set: OR is
+/// `~(~f & ~g)` on the same AND cache line, NOT never recurses at all, and
+/// ITE normalizes its triple (regular predicate, regular then-branch) before
+/// every cache access so all De Morgan variants of a query share one entry.
+/// Public entry points run GC housekeeping first; recursive cores never
+/// trigger GC, so intermediate results (reachable only from the C++ call
+/// stack) are safe.
 
 #include "bdd/bdd.hpp"
 
@@ -44,8 +50,8 @@ bdd bdd_manager::apply_xor(const bdd& f, const bdd& g) {
 
 bdd bdd_manager::apply_not(const bdd& f) {
     assert(f.manager() == this);
-    maybe_gc_or_grow();
-    return make(not_rec(f.index()));
+    // complement edges: negation is a bit flip — no GC, no cache, no nodes
+    return make(f.index() ^ 1u);
 }
 
 bdd bdd_manager::ite(const bdd& f, const bdd& g, const bdd& h) {
@@ -59,19 +65,23 @@ bdd bdd_manager::ite(const bdd& f, const bdd& g, const bdd& h) {
 // ---------------------------------------------------------------------------
 
 std::uint32_t bdd_manager::and_rec(std::uint32_t f, std::uint32_t g) {
+    if (f == g) { return f; }
+    if (f == (g ^ 1u)) { return 0; } // f & ~f
     if (f == 0 || g == 0) { return 0; }
     if (f == 1) { return g; }
-    if (g == 1 || f == g) { return f; }
+    if (g == 1) { return f; }
     canonize(f, g);
     std::uint32_t result = 0;
     if (cache_lookup(op::and_op, f, g, 0, result)) { return result; }
-    const node nf = nodes_[f];
-    const node ng = nodes_[g];
+    const node nf = nodes_[node_of(f)];
+    const node ng = nodes_[node_of(g)];
     const std::uint32_t lf = var2level_[nf.var];
     const std::uint32_t lg = var2level_[ng.var];
-    std::uint32_t top_var = 0, f0 = 0, f1 = 0, g0 = 0, g1 = 0;
-    if (lf <= lg) { top_var = nf.var; f0 = nf.lo; f1 = nf.hi; } else { f0 = f1 = f; }
-    if (lg <= lf) { top_var = ng.var; g0 = ng.lo; g1 = ng.hi; } else { g0 = g1 = g; }
+    const std::uint32_t cf = comp_of(f);
+    const std::uint32_t cg = comp_of(g);
+    std::uint32_t top_var = 0, f0 = f, f1 = f, g0 = g, g1 = g;
+    if (lf <= lg) { top_var = nf.var; f0 = nf.lo ^ cf; f1 = nf.hi ^ cf; }
+    if (lg <= lf) { top_var = ng.var; g0 = ng.lo ^ cg; g1 = ng.hi ^ cg; }
     const std::uint32_t r0 = and_rec(f0, g0);
     const std::uint32_t r1 = and_rec(f1, g1);
     result = mk(top_var, r0, r1);
@@ -79,95 +89,77 @@ std::uint32_t bdd_manager::and_rec(std::uint32_t f, std::uint32_t g) {
     return result;
 }
 
-std::uint32_t bdd_manager::or_rec(std::uint32_t f, std::uint32_t g) {
-    if (f == 1 || g == 1) { return 1; }
-    if (f == 0) { return g; }
-    if (g == 0 || f == g) { return f; }
-    canonize(f, g);
-    std::uint32_t result = 0;
-    if (cache_lookup(op::or_op, f, g, 0, result)) { return result; }
-    const node nf = nodes_[f];
-    const node ng = nodes_[g];
-    const std::uint32_t lf = var2level_[nf.var];
-    const std::uint32_t lg = var2level_[ng.var];
-    std::uint32_t top_var = 0, f0 = 0, f1 = 0, g0 = 0, g1 = 0;
-    if (lf <= lg) { top_var = nf.var; f0 = nf.lo; f1 = nf.hi; } else { f0 = f1 = f; }
-    if (lg <= lf) { top_var = ng.var; g0 = ng.lo; g1 = ng.hi; } else { g0 = g1 = g; }
-    const std::uint32_t r0 = or_rec(f0, g0);
-    const std::uint32_t r1 = or_rec(f1, g1);
-    result = mk(top_var, r0, r1);
-    cache_store(op::or_op, f, g, 0, result);
-    return result;
-}
-
 std::uint32_t bdd_manager::xor_rec(std::uint32_t f, std::uint32_t g) {
-    if (f == g) { return 0; }
-    if (f == 0) { return g; }
-    if (g == 0) { return f; }
-    if (f == 1) { return not_rec(g); }
-    if (g == 1) { return not_rec(f); }
+    // hoist both complement bits: f ^ g == regular(f) ^ regular(g) ^ c
+    const std::uint32_t c = (f ^ g) & 1u;
+    f &= ~1u;
+    g &= ~1u;
+    if (f == g) { return c; }
+    if (f == 0) { return g ^ c; } // regular(FALSE/TRUE) is reference 0
+    if (g == 0) { return f ^ c; }
     canonize(f, g);
     std::uint32_t result = 0;
-    if (cache_lookup(op::xor_op, f, g, 0, result)) { return result; }
-    const node nf = nodes_[f];
-    const node ng = nodes_[g];
+    if (cache_lookup(op::xor_op, f, g, 0, result)) { return result ^ c; }
+    const node nf = nodes_[node_of(f)];
+    const node ng = nodes_[node_of(g)];
     const std::uint32_t lf = var2level_[nf.var];
     const std::uint32_t lg = var2level_[ng.var];
-    std::uint32_t top_var = 0, f0 = 0, f1 = 0, g0 = 0, g1 = 0;
-    if (lf <= lg) { top_var = nf.var; f0 = nf.lo; f1 = nf.hi; } else { f0 = f1 = f; }
-    if (lg <= lf) { top_var = ng.var; g0 = ng.lo; g1 = ng.hi; } else { g0 = g1 = g; }
+    std::uint32_t top_var = 0, f0 = f, f1 = f, g0 = g, g1 = g;
+    if (lf <= lg) { top_var = nf.var; f0 = nf.lo; f1 = nf.hi; }
+    if (lg <= lf) { top_var = ng.var; g0 = ng.lo; g1 = ng.hi; }
     const std::uint32_t r0 = xor_rec(f0, g0);
     const std::uint32_t r1 = xor_rec(f1, g1);
     result = mk(top_var, r0, r1);
     cache_store(op::xor_op, f, g, 0, result);
-    return result;
-}
-
-std::uint32_t bdd_manager::not_rec(std::uint32_t f) {
-    if (f == 0) { return 1; }
-    if (f == 1) { return 0; }
-    std::uint32_t result = 0;
-    if (cache_lookup(op::not_op, f, 0, 0, result)) { return result; }
-    const node nf = nodes_[f];
-    result = mk(nf.var, not_rec(nf.lo), not_rec(nf.hi));
-    cache_store(op::not_op, f, 0, 0, result);
-    return result;
+    return result ^ c;
 }
 
 std::uint32_t bdd_manager::ite_rec(std::uint32_t f, std::uint32_t g,
                                    std::uint32_t h) {
-    // terminal cases
+    // terminal predicate
     if (f == 1) { return g; }
     if (f == 0) { return h; }
+    // reduce repeated / complementary operands (standard triples)
+    if (g == f) { g = 1; } else if (g == (f ^ 1u)) { g = 0; }
+    if (h == f) { h = 0; } else if (h == (f ^ 1u)) { h = 1; }
     if (g == h) { return g; }
     if (g == 1 && h == 0) { return f; }
-    if (g == 0 && h == 1) { return not_rec(f); }
-    if (g == 1) { return or_rec(f, h); }
+    if (g == 0 && h == 1) { return f ^ 1u; }
+    // delegate constant-branch and complementary-branch cases to the
+    // two-operand ops so they share those cache lines
     if (h == 0) { return and_rec(f, g); }
-    if (g == 0) { return and_rec(not_rec(f), h); }
-    if (h == 1) { return or_rec(not_rec(f), g); }
-    if (f == g) { return or_rec(f, h); }   // ite(f,f,h) = f | h
-    if (f == h) { return and_rec(f, g); }  // ite(f,g,f) = f & g
+    if (g == 0) { return and_rec(f ^ 1u, h); }
+    if (g == 1) { return or_rec(f, h); }
+    if (h == 1) { return or_rec(f ^ 1u, g); } // ite(f,g,1) = f -> g
+    if (g == (h ^ 1u)) { return xor_rec(f, h); } // ite(f,~h,h) = f ^ h
+    // normalize: regular predicate, then regular then-branch
+    if (is_comp(f)) {
+        f ^= 1u;
+        std::swap(g, h);
+    }
+    std::uint32_t out = 0;
+    if (is_comp(g)) {
+        g ^= 1u;
+        h ^= 1u;
+        out = 1u;
+    }
     std::uint32_t result = 0;
-    if (cache_lookup(op::ite_op, f, g, h, result)) { return result; }
-    const node nf = nodes_[f];
-    const node ng = nodes_[g];
-    const node nh = nodes_[h];
-    std::uint32_t top_level = var2level_[nf.var];
-    if (g > 1) { top_level = std::min(top_level, var2level_[ng.var]); }
-    if (h > 1) { top_level = std::min(top_level, var2level_[nh.var]); }
+    if (cache_lookup(op::ite_op, f, g, h, result)) { return result ^ out; }
+    const std::uint32_t lf = var2level_[var_of(f)];
+    std::uint32_t top_level = lf;
+    top_level = std::min(top_level, var2level_[var_of(g)]);
+    top_level = std::min(top_level, var2level_[var_of(h)]);
     const std::uint32_t top_var = level2var_[top_level];
-    const auto cof = [&](std::uint32_t x, const node& nx, bool hi) {
-        if (x <= 1 || nx.var != top_var) { return x; }
-        return hi ? nx.hi : nx.lo;
+    const auto cof = [&](std::uint32_t x, bool hi_side) {
+        if (is_terminal(x) || var_of(x) != top_var) { return x; }
+        return (hi_side ? nodes_[node_of(x)].hi : nodes_[node_of(x)].lo) ^
+               comp_of(x);
     };
-    const std::uint32_t r0 =
-        ite_rec(cof(f, nf, false), cof(g, ng, false), cof(h, nh, false));
-    const std::uint32_t r1 =
-        ite_rec(cof(f, nf, true), cof(g, ng, true), cof(h, nh, true));
+    const std::uint32_t r0 = ite_rec(cof(f, false), cof(g, false), cof(h, false));
+    const std::uint32_t r1 = ite_rec(cof(f, true), cof(g, true), cof(h, true));
     result = mk(top_var, r0, r1);
     cache_store(op::ite_op, f, g, h, result);
-    return result;
+    return result ^ out;
 }
 
 } // namespace leq

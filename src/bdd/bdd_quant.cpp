@@ -3,7 +3,10 @@
 /// (relational product), the workhorse of partitioned image computation.
 ///
 /// Quantifier cubes are positive products of the variables to eliminate;
-/// traversal follows the hi-edges of the cube.
+/// traversal follows the hi-edges of the cube.  With complement edges
+/// forall needs no recursion of its own: it is the dual !exists(!f, cube),
+/// and both negations are free bit flips, so exists and forall share one
+/// cache.
 
 #include "bdd/bdd.hpp"
 
@@ -21,7 +24,7 @@ bdd bdd_manager::exists(const bdd& f, const bdd& cube) {
 bdd bdd_manager::forall(const bdd& f, const bdd& cube) {
     assert(f.manager() == this && cube.manager() == this);
     maybe_gc_or_grow();
-    return make(forall_rec(f.index(), cube.index()));
+    return make(exists_rec(f.index() ^ 1u, cube.index()) ^ 1u);
 }
 
 bdd bdd_manager::and_exists(const bdd& f, const bdd& g, const bdd& cube) {
@@ -32,82 +35,57 @@ bdd bdd_manager::and_exists(const bdd& f, const bdd& g, const bdd& cube) {
 }
 
 std::uint32_t bdd_manager::exists_rec(std::uint32_t f, std::uint32_t cube) {
-    if (f <= 1) { return f; }
+    if (is_terminal(f)) { return f; }
     // skip quantified variables above f's top: they do not occur in f
-    const std::uint32_t f_level = var2level_[nodes_[f].var];
-    while (cube != 1 && var2level_[nodes_[cube].var] < f_level) {
-        cube = nodes_[cube].hi;
+    const std::uint32_t f_level = var2level_[var_of(f)];
+    while (cube != 1 && var2level_[var_of(cube)] < f_level) {
+        cube = hi_of(cube);
     }
     if (cube == 1) { return f; }
     std::uint32_t result = 0;
     if (cache_lookup(op::exists_op, f, cube, 0, result)) { return result; }
-    const node nf = nodes_[f];
-    if (nodes_[cube].var == nf.var) {
-        const std::uint32_t rest = nodes_[cube].hi;
-        const std::uint32_t r0 = exists_rec(nf.lo, rest);
+    const std::uint32_t f0 = lo_of(f);
+    const std::uint32_t f1 = hi_of(f);
+    if (var_of(cube) == var_of(f)) {
+        const std::uint32_t rest = hi_of(cube);
+        const std::uint32_t r0 = exists_rec(f0, rest);
         if (r0 == 1) {
             result = 1;
         } else {
-            result = or_rec(r0, exists_rec(nf.hi, rest));
+            result = or_rec(r0, exists_rec(f1, rest));
         }
     } else {
-        const std::uint32_t r0 = exists_rec(nf.lo, cube);
-        const std::uint32_t r1 = exists_rec(nf.hi, cube);
-        result = mk(nf.var, r0, r1);
+        const std::uint32_t r0 = exists_rec(f0, cube);
+        const std::uint32_t r1 = exists_rec(f1, cube);
+        result = mk(var_of(f), r0, r1);
     }
     cache_store(op::exists_op, f, cube, 0, result);
     return result;
 }
 
-std::uint32_t bdd_manager::forall_rec(std::uint32_t f, std::uint32_t cube) {
-    if (f <= 1) { return f; }
-    const std::uint32_t f_level = var2level_[nodes_[f].var];
-    while (cube != 1 && var2level_[nodes_[cube].var] < f_level) {
-        cube = nodes_[cube].hi;
-    }
-    if (cube == 1) { return f; }
-    std::uint32_t result = 0;
-    if (cache_lookup(op::forall_op, f, cube, 0, result)) { return result; }
-    const node nf = nodes_[f];
-    if (nodes_[cube].var == nf.var) {
-        const std::uint32_t rest = nodes_[cube].hi;
-        const std::uint32_t r0 = forall_rec(nf.lo, rest);
-        if (r0 == 0) {
-            result = 0;
-        } else {
-            result = and_rec(r0, forall_rec(nf.hi, rest));
-        }
-    } else {
-        const std::uint32_t r0 = forall_rec(nf.lo, cube);
-        const std::uint32_t r1 = forall_rec(nf.hi, cube);
-        result = mk(nf.var, r0, r1);
-    }
-    cache_store(op::forall_op, f, cube, 0, result);
-    return result;
-}
-
 std::uint32_t bdd_manager::and_exists_rec(std::uint32_t f, std::uint32_t g,
                                           std::uint32_t cube) {
-    if (f == 0 || g == 0) { return 0; }
+    if (f == 0 || g == 0 || f == (g ^ 1u)) { return 0; }
     if (f == 1 && g == 1) { return 1; }
+    if (f == 1 || f == g) { return exists_rec(g, cube); }
+    if (g == 1) { return exists_rec(f, cube); }
     if (f > g) { std::swap(f, g); }
-    // top level among the two operands (terminals have no level)
-    std::uint32_t top_level = var_nil;
-    if (f > 1) { top_level = var2level_[nodes_[f].var]; }
-    if (g > 1) { top_level = std::min(top_level, var2level_[nodes_[g].var]); }
+    // top level among the two operands (both non-terminal here)
+    const std::uint32_t top_level =
+        std::min(var2level_[var_of(f)], var2level_[var_of(g)]);
     // skip quantified variables above the top: absent from both operands
-    while (cube != 1 && var2level_[nodes_[cube].var] < top_level) {
-        cube = nodes_[cube].hi;
+    while (cube != 1 && var2level_[var_of(cube)] < top_level) {
+        cube = hi_of(cube);
     }
     if (cube == 1) { return and_rec(f, g); }
     std::uint32_t result = 0;
     if (cache_lookup(op::and_exists_op, f, g, cube, result)) { return result; }
     const std::uint32_t top_var = level2var_[top_level];
     std::uint32_t f0 = f, f1 = f, g0 = g, g1 = g;
-    if (f > 1 && nodes_[f].var == top_var) { f0 = nodes_[f].lo; f1 = nodes_[f].hi; }
-    if (g > 1 && nodes_[g].var == top_var) { g0 = nodes_[g].lo; g1 = nodes_[g].hi; }
-    if (nodes_[cube].var == top_var) {
-        const std::uint32_t rest = nodes_[cube].hi;
+    if (var_of(f) == top_var) { f0 = lo_of(f); f1 = hi_of(f); }
+    if (var_of(g) == top_var) { g0 = lo_of(g); g1 = hi_of(g); }
+    if (var_of(cube) == top_var) {
+        const std::uint32_t rest = hi_of(cube);
         const std::uint32_t r0 = and_exists_rec(f0, g0, rest);
         if (r0 == 1) {
             result = 1;

@@ -4,25 +4,29 @@
 ///
 /// The package addresses nodes by stable indices, so reordering rewrites
 /// nodes *in place*: after a swap every node index still denotes the same
-/// Boolean function, which keeps all external handles (and the computed
-/// cache) valid.  The classic argument that the in-place rewrite cannot
-/// collide with an existing unique-table entry is spelled out at
-/// swap_levels below.
+/// Boolean function (as a regular reference), which keeps all external
+/// handles (and the computed cache) valid.  Complement edges add one
+/// obligation — the rewritten node's then-edge must stay regular — and one
+/// gift: it does so automatically.  The classic argument that the in-place
+/// rewrite cannot collide with an existing unique-table entry is spelled
+/// out at swap_levels below.
 ///
 /// Bookkeeping during a reorder uses a dedicated internal reference count
-/// (`rc_`): external roots contribute one reference, live parents one each.
-/// Nodes whose count drops to zero are left physically in the arena and in
-/// the unique table — they may be resurrected by a later swap requesting the
-/// same (var,lo,hi) triple — and are reclaimed by the mark-and-sweep
-/// collection that ends the reorder.
+/// (`rc_`, per node; the complement bit of an edge is irrelevant for
+/// liveness): external roots contribute one reference, live parents one
+/// each.  Nodes whose count drops to zero are left physically in the arena
+/// and in the unique table — they may be resurrected by a later swap
+/// requesting the same (var,lo,hi) triple — and are reclaimed by the
+/// mark-and-sweep collection that ends the reorder.
 
 #include "bdd/bdd.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 #include <numeric>
+#include <set>
 #include <stdexcept>
-#include <unordered_set>
 
 namespace leq {
 
@@ -48,36 +52,39 @@ void bdd_manager::unique_remove(std::uint32_t idx) {
 // reorder-scoped reference counting
 // ---------------------------------------------------------------------------
 
-void bdd_manager::rc_incref(std::uint32_t idx) {
-    if (is_terminal(idx)) { return; }
-    if (rc_[idx]++ == 0) {
+void bdd_manager::rc_incref(std::uint32_t ref) {
+    const std::uint32_t n = node_of(ref);
+    if (n == 0) { return; }
+    if (rc_[n]++ == 0) {
         // fresh or resurrected: its children regain one reference each
         ++alive_;
-        rc_incref(nodes_[idx].lo);
-        rc_incref(nodes_[idx].hi);
+        rc_incref(nodes_[n].lo);
+        rc_incref(nodes_[n].hi);
     }
 }
 
-void bdd_manager::rc_deref(std::uint32_t idx) {
-    if (is_terminal(idx)) { return; }
-    assert(rc_[idx] > 0);
-    if (--rc_[idx] == 0) {
+void bdd_manager::rc_deref(std::uint32_t ref) {
+    const std::uint32_t n = node_of(ref);
+    if (n == 0) { return; }
+    assert(rc_[n] > 0);
+    if (--rc_[n] == 0) {
         --alive_;
-        rc_deref(nodes_[idx].lo);
-        rc_deref(nodes_[idx].hi);
+        rc_deref(nodes_[n].lo);
+        rc_deref(nodes_[n].hi);
     }
 }
 
 std::uint32_t bdd_manager::reorder_mk(std::uint32_t var, std::uint32_t lo,
                                       std::uint32_t hi) {
-    const std::uint32_t idx = mk(var, lo, hi);
+    const std::uint32_t ref = mk(var, lo, hi);
+    const std::uint32_t n = node_of(ref);
     if (rc_.size() < nodes_.size()) { rc_.resize(nodes_.size(), 0); }
     // track fresh nodes for future swaps of this variable; duplicates in the
     // list are harmless (iteration re-checks var and rc)
-    if (!is_terminal(idx) && rc_[idx] == 0 && nodes_[idx].var == var) {
-        var_nodes_[var].push_back(idx);
+    if (n != 0 && rc_[n] == 0 && nodes_[n].var == var) {
+        var_nodes_[var].push_back(n);
     }
-    return idx;
+    return ref;
 }
 
 void bdd_manager::reorder_begin() {
@@ -85,10 +92,10 @@ void bdd_manager::reorder_begin() {
     rc_.assign(nodes_.size(), 0);
     var_nodes_.assign(num_vars(), {});
     alive_ = 0;
-    for (std::uint32_t i = 2; i < nodes_.size(); ++i) {
-        if (ext_ref_[i] > 0) { rc_incref(i); }
+    for (std::uint32_t i = 1; i < nodes_.size(); ++i) {
+        if (ext_ref_[i] > 0) { rc_incref(i << 1); }
     }
-    for (std::uint32_t i = 2; i < nodes_.size(); ++i) {
+    for (std::uint32_t i = 1; i < nodes_.size(); ++i) {
         if (rc_[i] > 0) { var_nodes_[nodes_[i].var].push_back(i); }
     }
 }
@@ -124,29 +131,34 @@ std::size_t bdd_manager::swap_levels(std::uint32_t level) {
     // Only x-nodes with a y-child change representation; x-nodes without one
     // simply sink a level unchanged.  The in-place rewrite of such a node to
     // (y, A, B) can never collide with an existing table entry:
-    //  * a pre-swap y-node cannot have an x-node child (x was above y), so a
-    //    collision would need both A and B to be deeper nodes, which forces
-    //    the rewritten node's two original children to be equal — impossible
-    //    for a canonical node;
+    //  * a pre-swap y-node cannot have an x-node child (x was above y), while
+    //    the rewrite always produces at least one x-child: were both new
+    //    children below x, the node's two original cofactors would have been
+    //    equal — impossible for a canonical node;
     //  * two rewrites in the same sweep mapping to the same (y, A, B) would
     //    have to start from identical (x, F0, F1) keys — the table held at
     //    most one.
+    // Complement-edge invariant: the node's stored then-edge F1 is regular
+    // and (being canonical) F1's own then-edge F11 is regular, so the new
+    // then-child B = mk(x, F01, F11) — whose then-operand is F11 — comes
+    // back regular, and the rewritten (y, A, B) node is canonical as-is.
     const std::vector<std::uint32_t> snapshot = var_nodes_[x];
     for (const std::uint32_t idx : snapshot) {
         if (nodes_[idx].var != x || rc_[idx] == 0) { continue; }
-        const std::uint32_t f0 = nodes_[idx].lo;
-        const std::uint32_t f1 = nodes_[idx].hi;
-        const bool d0 = !is_terminal(f0) && nodes_[f0].var == y;
-        const bool d1 = !is_terminal(f1) && nodes_[f1].var == y;
+        const std::uint32_t f0 = nodes_[idx].lo; // may carry a complement bit
+        const std::uint32_t f1 = nodes_[idx].hi; // regular by the invariant
+        const bool d0 = !is_terminal(f0) && nodes_[node_of(f0)].var == y;
+        const bool d1 = !is_terminal(f1) && nodes_[node_of(f1)].var == y;
         if (!d0 && !d1) { continue; }
-        const std::uint32_t f00 = d0 ? nodes_[f0].lo : f0;
-        const std::uint32_t f01 = d0 ? nodes_[f0].hi : f0;
-        const std::uint32_t f10 = d1 ? nodes_[f1].lo : f1;
-        const std::uint32_t f11 = d1 ? nodes_[f1].hi : f1;
+        const std::uint32_t f00 = d0 ? lo_of(f0) : f0;
+        const std::uint32_t f01 = d0 ? hi_of(f0) : f0;
+        const std::uint32_t f10 = d1 ? lo_of(f1) : f1;
+        const std::uint32_t f11 = d1 ? hi_of(f1) : f1;
         const std::uint32_t a = reorder_mk(x, f00, f10); // y = 0 branch
         rc_incref(a); // protect while building the other branch
         const std::uint32_t b = reorder_mk(x, f01, f11); // y = 1 branch
         rc_incref(b);
+        assert(!is_comp(b) && "swap must keep the then-edge regular");
         unique_remove(idx);
         rc_deref(f0);
         rc_deref(f1);
@@ -414,7 +426,7 @@ std::size_t bdd_manager::reorder_sift_groups(
 // ---------------------------------------------------------------------------
 
 void bdd_manager::check_consistency() const {
-    std::unordered_set<std::uint64_t> keys;
+    std::set<std::array<std::uint32_t, 3>> keys;
     std::vector<char> in_table(nodes_.size(), 0);
     for (const std::uint32_t head : buckets_) {
         for (std::uint32_t i = head; i != idx_nil; i = nodes_[i].next) {
@@ -424,31 +436,56 @@ void bdd_manager::check_consistency() const {
             }
             in_table[i] = 1;
             if (n.var == var_nil) {
-                throw std::logic_error("bdd: constant in unique table");
+                throw std::logic_error("bdd: terminal in unique table");
             }
             if (n.lo == n.hi) {
                 throw std::logic_error("bdd: unreduced node (lo == hi)");
             }
+            if (is_comp(n.hi)) {
+                // this is also what forbids a node and its complement from
+                // both sitting in the table: the complemented twin of a
+                // canonical node necessarily has a complemented then-edge
+                throw std::logic_error("bdd: complemented then-edge in table");
+            }
             for (const std::uint32_t c : {n.lo, n.hi}) {
-                if (c >= nodes_.size()) {
+                if (node_of(c) >= nodes_.size()) {
                     throw std::logic_error("bdd: child out of range");
                 }
                 if (!is_terminal(c) &&
-                    var2level_[nodes_[c].var] <= var2level_[n.var]) {
+                    var2level_[nodes_[node_of(c)].var] <= var2level_[n.var]) {
                     throw std::logic_error("bdd: child level not below parent");
                 }
             }
-            const std::uint64_t key =
-                (static_cast<std::uint64_t>(n.var) << 44) ^
-                (static_cast<std::uint64_t>(n.lo) << 22) ^ n.hi;
-            if (!keys.insert(key).second) {
+            if (!keys.insert({n.var, n.lo, n.hi}).second) {
                 throw std::logic_error("bdd: duplicate (var,lo,hi) in table");
             }
         }
     }
-    // every externally referenced node must be reachable through the table
-    for (std::uint32_t i = 2; i < nodes_.size(); ++i) {
-        if (ext_ref_[i] > 0 && !in_table[i]) {
+    // every node reachable from an externally referenced root must be
+    // findable through the table — this is what catches bucket-chain
+    // corruption (an orphaned node would let mk() mint a duplicate and
+    // silently break reference canonicity)
+    std::vector<char> reach(nodes_.size(), 0);
+    std::vector<std::uint32_t> stack;
+    for (std::uint32_t i = 1; i < nodes_.size(); ++i) {
+        if (ext_ref_[i] > 0 && !reach[i]) {
+            reach[i] = 1;
+            stack.push_back(i);
+        }
+    }
+    while (!stack.empty()) {
+        const std::uint32_t n = stack.back();
+        stack.pop_back();
+        for (const std::uint32_t edge : {nodes_[n].lo, nodes_[n].hi}) {
+            const std::uint32_t c = node_of(edge);
+            if (c != 0 && !reach[c]) {
+                reach[c] = 1;
+                stack.push_back(c);
+            }
+        }
+    }
+    for (std::uint32_t i = 1; i < nodes_.size(); ++i) {
+        if (reach[i] && !in_table[i]) {
             throw std::logic_error("bdd: live node missing from unique table");
         }
     }

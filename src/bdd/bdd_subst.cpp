@@ -1,5 +1,10 @@
 /// \file bdd_subst.cpp
 /// \brief Variable renaming (permute), functional composition and cofactors.
+///
+/// All of these commute with complementation, so the recursions memoize on
+/// the *regular* reference only and XOR the caller's complement bit back
+/// into the result — halving memo pressure and making f / !f renames share
+/// all work.
 
 #include "bdd/bdd.hpp"
 
@@ -18,9 +23,11 @@ bdd bdd_manager::permute(const bdd& f, const std::vector<std::uint32_t>& perm) {
 std::uint32_t bdd_manager::permute_rec(std::uint32_t f,
                                        const std::vector<std::uint32_t>& perm,
                                        std::vector<std::uint32_t>& memo) {
-    if (f <= 1) { return f; }
-    if (f < memo.size() && memo[f] != idx_nil) { return memo[f]; }
-    const node nf = nodes_[f];
+    if (is_terminal(f)) { return f; }
+    const std::uint32_t out = comp_of(f);
+    const std::uint32_t n = node_of(f);
+    if (n < memo.size() && memo[n] != idx_nil) { return memo[n] ^ out; }
+    const node nf = nodes_[n];
     const std::uint32_t r0 = permute_rec(nf.lo, perm, memo);
     const std::uint32_t r1 = permute_rec(nf.hi, perm, memo);
     assert(nf.var < perm.size());
@@ -28,8 +35,8 @@ std::uint32_t bdd_manager::permute_rec(std::uint32_t f,
     // the renamed variable may land anywhere in the order, so rebuild with a
     // full ITE rather than a bottom-up mk
     const std::uint32_t result = ite_rec(mk(new_var, 0, 1), r1, r0);
-    if (f < memo.size()) { memo[f] = result; }
-    return result;
+    if (n < memo.size()) { memo[n] = result; }
+    return result ^ out;
 }
 
 bdd bdd_manager::compose(const bdd& f, std::uint32_t v, const bdd& g) {
@@ -42,11 +49,13 @@ bdd bdd_manager::compose(const bdd& f, std::uint32_t v, const bdd& g) {
 std::uint32_t bdd_manager::compose_rec(std::uint32_t f, std::uint32_t v,
                                        std::uint32_t g,
                                        std::vector<std::uint32_t>& memo) {
-    if (f <= 1) { return f; }
-    const node nf = nodes_[f];
+    if (is_terminal(f)) { return f; }
+    const node nf = nodes_[node_of(f)];
     // below the level of v the variable cannot occur
     if (var2level_[nf.var] > var2level_[v]) { return f; }
-    if (f < memo.size() && memo[f] != idx_nil) { return memo[f]; }
+    const std::uint32_t out = comp_of(f);
+    const std::uint32_t n = node_of(f);
+    if (n < memo.size() && memo[n] != idx_nil) { return memo[n] ^ out; }
     std::uint32_t result = 0;
     if (nf.var == v) {
         result = ite_rec(g, nf.hi, nf.lo);
@@ -55,8 +64,8 @@ std::uint32_t bdd_manager::compose_rec(std::uint32_t f, std::uint32_t v,
         const std::uint32_t r1 = compose_rec(nf.hi, v, g, memo);
         result = ite_rec(mk(nf.var, 0, 1), r1, r0);
     }
-    if (f < memo.size()) { memo[f] = result; }
-    return result;
+    if (n < memo.size()) { memo[n] = result; }
+    return result ^ out;
 }
 
 bdd bdd_manager::compose_vector(
@@ -79,56 +88,59 @@ bdd bdd_manager::compose_vector(
 std::uint32_t bdd_manager::compose_vec_rec(
     std::uint32_t f, const std::vector<std::uint32_t>& sub,
     std::uint32_t deepest_level, std::vector<std::uint32_t>& memo) {
-    if (f <= 1) { return f; }
-    const node nf = nodes_[f];
+    if (is_terminal(f)) { return f; }
+    const node nf = nodes_[node_of(f)];
     // no substituted variable can occur below the deepest one
     if (var2level_[nf.var] > deepest_level) { return f; }
-    if (f < memo.size() && memo[f] != idx_nil) { return memo[f]; }
+    const std::uint32_t out = comp_of(f);
+    const std::uint32_t n = node_of(f);
+    if (n < memo.size() && memo[n] != idx_nil) { return memo[n] ^ out; }
     const std::uint32_t r0 = compose_vec_rec(nf.lo, sub, deepest_level, memo);
     const std::uint32_t r1 = compose_vec_rec(nf.hi, sub, deepest_level, memo);
     const std::uint32_t g =
         sub[nf.var] != idx_nil ? sub[nf.var] : mk(nf.var, 0, 1);
     const std::uint32_t result = ite_rec(g, r1, r0);
-    if (f < memo.size()) { memo[f] = result; }
-    return result;
+    if (n < memo.size()) { memo[n] = result; }
+    return result ^ out;
 }
 
 bdd bdd_manager::cofactor(const bdd& f, const bdd& cube) {
     assert(f.manager() == this && cube.manager() == this);
     maybe_gc_or_grow();
-    // iterative over the cube: restrict one literal at a time via the cache
-    std::uint32_t r = f.index();
-    std::uint32_t c = cube.index();
+    const std::uint32_t c = cube.index();
     assert(c != 0 && "cofactor by the empty cube is undefined");
     // generalized cofactor by a cube: walk f, branching as the cube dictates
     struct restrictor {
         bdd_manager* m;
         std::uint32_t run(std::uint32_t f, std::uint32_t c) {
-            if (f <= 1 || c == 1) { return f; }
+            if (is_terminal(f) || c == 1) { return f; }
+            // cofactoring commutes with complement (the cube steers by c
+            // alone): hoist f's bit so f / !f share the cache line
+            const std::uint32_t out = comp_of(f);
+            f ^= out;
             std::uint32_t result = 0;
             if (m->cache_lookup(op::cofactor_op, f, c, 0, result)) {
-                return result;
+                return result ^ out;
             }
-            const node nf = m->nodes_[f];
-            const node nc = m->nodes_[c];
-            const std::uint32_t lf = m->var2level_[nf.var];
-            const std::uint32_t lc = m->var2level_[nc.var];
+            const std::uint32_t lf = m->var2level_[m->var_of(f)];
+            const std::uint32_t lc = m->var2level_[m->var_of(c)];
             if (lc < lf) {
                 // cube literal above f: skip it
-                result = run(f, nc.lo == 0 ? nc.hi : nc.lo);
+                result = run(f, m->lo_of(c) == 0 ? m->hi_of(c) : m->lo_of(c));
             } else if (lc == lf) {
                 // take the branch selected by the literal's phase
-                result = nc.lo == 0 ? run(nf.hi, nc.hi) : run(nf.lo, nc.lo);
+                result = m->lo_of(c) == 0 ? run(m->hi_of(f), m->hi_of(c))
+                                          : run(m->lo_of(f), m->lo_of(c));
             } else {
-                const std::uint32_t r0 = run(nf.lo, c);
-                const std::uint32_t r1 = run(nf.hi, c);
-                result = m->mk(nf.var, r0, r1);
+                const std::uint32_t r0 = run(m->lo_of(f), c);
+                const std::uint32_t r1 = run(m->hi_of(f), c);
+                result = m->mk(m->var_of(f), r0, r1);
             }
             m->cache_store(op::cofactor_op, f, c, 0, result);
-            return result;
+            return result ^ out;
         }
     };
-    return make(restrictor{this}.run(r, c));
+    return make(restrictor{this}.run(f.index(), c));
 }
 
 } // namespace leq
@@ -144,44 +156,46 @@ bdd bdd_manager::constrain(const bdd& f, const bdd& c) {
 }
 
 std::uint32_t bdd_manager::constrain_rec(std::uint32_t f, std::uint32_t c) {
-    if (c == 1 || f <= 1) { return f; }
+    if (c == 1 || is_terminal(f)) { return f; }
     if (c == f) { return 1; }
+    if (c == (f ^ 1u)) { return 0; }
+    // constrain commutes with complement (the care-set steering ignores f's
+    // phase): hoist f's bit so f / !f share the cache line
+    const std::uint32_t out = comp_of(f);
+    f ^= out;
     std::uint32_t result = 0;
-    if (cache_lookup(op::constrain_op, f, c, 0, result)) { return result; }
-    const node nc = nodes_[c];
-    const node nf = nodes_[f];
-    const std::uint32_t lc = var2level_[nc.var];
-    const std::uint32_t lf = var2level_[nf.var];
+    if (cache_lookup(op::constrain_op, f, c, 0, result)) { return result ^ out; }
+    const std::uint32_t lc = var2level_[var_of(c)];
+    const std::uint32_t lf = var2level_[var_of(f)];
     if (lc < lf) {
         // f independent of c's top variable
-        if (nc.lo == 0) {
-            result = constrain_rec(f, nc.hi);
-        } else if (nc.hi == 0) {
-            result = constrain_rec(f, nc.lo);
+        const std::uint32_t c0 = lo_of(c);
+        const std::uint32_t c1 = hi_of(c);
+        if (c0 == 0) {
+            result = constrain_rec(f, c1);
+        } else if (c1 == 0) {
+            result = constrain_rec(f, c0);
         } else {
-            const std::uint32_t r0 = constrain_rec(f, nc.lo);
-            const std::uint32_t r1 = constrain_rec(f, nc.hi);
-            result = mk(nc.var, r0, r1);
+            result = mk(var_of(c), constrain_rec(f, c0), constrain_rec(f, c1));
         }
     } else {
-        const std::uint32_t f0 = lf <= lc ? nf.lo : f;
-        const std::uint32_t f1 = lf <= lc ? nf.hi : f;
-        const std::uint32_t c0 = lc <= lf ? nc.lo : c;
-        const std::uint32_t c1 = lc <= lf ? nc.hi : c;
+        const std::uint32_t f0 = lf <= lc ? lo_of(f) : f;
+        const std::uint32_t f1 = lf <= lc ? hi_of(f) : f;
+        const std::uint32_t c0 = lc <= lf ? lo_of(c) : c;
+        const std::uint32_t c1 = lc <= lf ? hi_of(c) : c;
         if (c0 == 0) {
             result = constrain_rec(f1, c1);
         } else if (c1 == 0) {
             result = constrain_rec(f0, c0);
         } else {
-            const std::uint32_t top =
-                lf <= lc ? nf.var : nc.var;
+            const std::uint32_t top = lf <= lc ? var_of(f) : var_of(c);
             const std::uint32_t r0 = constrain_rec(f0, c0);
             const std::uint32_t r1 = constrain_rec(f1, c1);
             result = mk(top, r0, r1);
         }
     }
     cache_store(op::constrain_op, f, c, 0, result);
-    return result;
+    return result ^ out;
 }
 
 bdd bdd_manager::restrict_dc(const bdd& f, const bdd& c) {
@@ -192,23 +206,24 @@ bdd bdd_manager::restrict_dc(const bdd& f, const bdd& c) {
 }
 
 std::uint32_t bdd_manager::restrict_rec(std::uint32_t f, std::uint32_t c) {
-    if (c == 1 || f <= 1) { return f; }
+    if (c == 1 || is_terminal(f)) { return f; }
     if (c == f) { return 1; }
+    if (c == (f ^ 1u)) { return 0; }
+    const std::uint32_t out = comp_of(f);
+    f ^= out;
     std::uint32_t result = 0;
-    if (cache_lookup(op::restrict_op, f, c, 0, result)) { return result; }
-    const node nc = nodes_[c];
-    const node nf = nodes_[f];
-    const std::uint32_t lc = var2level_[nc.var];
-    const std::uint32_t lf = var2level_[nf.var];
+    if (cache_lookup(op::restrict_op, f, c, 0, result)) { return result ^ out; }
+    const std::uint32_t lc = var2level_[var_of(c)];
+    const std::uint32_t lf = var2level_[var_of(f)];
     if (lc < lf) {
         // f does not depend on c's top variable: drop it from the care set
         // (this is the difference from constrain)
-        result = restrict_rec(f, or_rec(nc.lo, nc.hi));
+        result = restrict_rec(f, or_rec(lo_of(c), hi_of(c)));
     } else {
-        const std::uint32_t f0 = nf.lo;
-        const std::uint32_t f1 = nf.hi;
-        const std::uint32_t c0 = lc == lf ? nc.lo : c;
-        const std::uint32_t c1 = lc == lf ? nc.hi : c;
+        const std::uint32_t f0 = lo_of(f);
+        const std::uint32_t f1 = hi_of(f);
+        const std::uint32_t c0 = lc == lf ? lo_of(c) : c;
+        const std::uint32_t c1 = lc == lf ? hi_of(c) : c;
         if (c0 == 0) {
             result = restrict_rec(f1, c1);
         } else if (c1 == 0) {
@@ -216,11 +231,11 @@ std::uint32_t bdd_manager::restrict_rec(std::uint32_t f, std::uint32_t c) {
         } else {
             const std::uint32_t r0 = restrict_rec(f0, c0);
             const std::uint32_t r1 = restrict_rec(f1, c1);
-            result = mk(nf.var, r0, r1);
+            result = mk(var_of(f), r0, r1);
         }
     }
     cache_store(op::restrict_op, f, c, 0, result);
-    return result;
+    return result ^ out;
 }
 
 } // namespace leq

@@ -1,5 +1,10 @@
 /// \file bdd_util.cpp
 /// \brief Structural queries: support, sizes, counting, cube enumeration.
+///
+/// Traversals walk tagged references: a node's stored edges are XOR-ed with
+/// the incoming reference's complement bit, so every helper sees the true
+/// cofactor functions.  Node-keyed memos (sat_count, dag_size) key on the
+/// node index alone — f and !f share one entry.
 
 #include "bdd/bdd.hpp"
 
@@ -17,8 +22,8 @@ void bdd_manager::set_var_order(const std::vector<std::uint32_t>& order) {
         throw std::invalid_argument("set_var_order: wrong permutation size");
     }
     // the order may only change while no user BDDs exist: check that nothing
-    // beyond the constants is externally referenced
-    for (std::uint32_t i = 2; i < ext_ref_.size(); ++i) {
+    // beyond the terminal is externally referenced
+    for (std::uint32_t i = 1; i < ext_ref_.size(); ++i) {
         if (ext_ref_[i] != 0) {
             throw std::logic_error(
                 "set_var_order: live BDD handles exist; choose the order "
@@ -46,10 +51,11 @@ bdd bdd_manager::support_cube(const bdd& f) {
 }
 
 std::uint32_t bdd_manager::support_rec(std::uint32_t f) {
-    if (f <= 1) { return 1; }
+    f &= ~1u; // support(f) == support(!f): cache on the regular reference
+    if (f == 0) { return 1; }
     std::uint32_t result = 0;
     if (cache_lookup(op::support_op, f, 0, 0, result)) { return result; }
-    const node nf = nodes_[f];
+    const node nf = nodes_[node_of(f)];
     const std::uint32_t s_children =
         and_rec(support_rec(nf.lo), support_rec(nf.hi));
     result = and_rec(mk(nf.var, 0, 1), s_children);
@@ -67,14 +73,14 @@ std::vector<std::uint32_t> bdd_manager::support(const bdd& f) {
 
 std::size_t bdd_manager::dag_size(const bdd& f) {
     assert(f.manager() == this);
-    std::unordered_set<std::uint32_t> seen;
-    std::vector<std::uint32_t> stack{f.index()};
+    std::unordered_set<std::uint32_t> seen; // node indices
+    std::vector<std::uint32_t> stack{node_of(f.index())};
     while (!stack.empty()) {
         const std::uint32_t n = stack.back();
         stack.pop_back();
-        if (!seen.insert(n).second || n <= 1) { continue; }
-        stack.push_back(nodes_[n].lo);
-        stack.push_back(nodes_[n].hi);
+        if (!seen.insert(n).second || n == 0) { continue; }
+        stack.push_back(node_of(nodes_[n].lo));
+        stack.push_back(node_of(nodes_[n].hi));
     }
     return seen.size();
 }
@@ -82,30 +88,36 @@ std::size_t bdd_manager::dag_size(const bdd& f) {
 double bdd_manager::sat_count(const bdd& f, std::uint32_t nvars) {
     assert(f.manager() == this);
     // fraction-style recursion: density(f) = fraction of assignments mapped
-    // to 1; the count is density * 2^nvars
+    // to 1; the count is density * 2^nvars.  Memoized per node; a
+    // complemented reference reads 1 - density.
     std::unordered_map<std::uint32_t, double> memo;
     const std::function<double(std::uint32_t)> density =
-        [&](std::uint32_t n) -> double {
-        if (n == 0) { return 0.0; }
-        if (n == 1) { return 1.0; }
+        [&](std::uint32_t r) -> double {
+        if (r == 0) { return 0.0; }
+        if (r == 1) { return 1.0; }
+        const std::uint32_t n = node_of(r);
+        double d = 0.0;
         const auto it = memo.find(n);
-        if (it != memo.end()) { return it->second; }
-        const double d = 0.5 * (density(nodes_[n].lo) + density(nodes_[n].hi));
-        memo.emplace(n, d);
-        return d;
+        if (it != memo.end()) {
+            d = it->second;
+        } else {
+            d = 0.5 * (density(nodes_[n].lo) + density(nodes_[n].hi));
+            memo.emplace(n, d);
+        }
+        return is_comp(r) ? 1.0 - d : d;
     };
     return density(f.index()) * std::pow(2.0, static_cast<double>(nvars));
 }
 
 bool bdd_manager::eval(const bdd& f, const std::vector<bool>& assignment) {
     assert(f.manager() == this);
-    std::uint32_t n = f.index();
-    while (n > 1) {
-        const node& nd = nodes_[n];
+    std::uint32_t r = f.index();
+    while (r > 1) {
+        const node& nd = nodes_[node_of(r)];
         assert(nd.var < assignment.size());
-        n = assignment[nd.var] ? nd.hi : nd.lo;
+        r = (assignment[nd.var] ? nd.hi : nd.lo) ^ comp_of(r);
     }
-    return n == 1;
+    return r == 1;
 }
 
 bdd bdd_manager::pick_cube(const bdd& f) {
@@ -113,15 +125,16 @@ bdd bdd_manager::pick_cube(const bdd& f) {
     maybe_gc_or_grow();
     // walk down preferring the else-branch, collecting literals
     std::vector<std::pair<std::uint32_t, bool>> literals;
-    std::uint32_t n = f.index();
-    while (n > 1) {
-        const node& nd = nodes_[n];
-        if (nd.lo != 0) {
-            literals.emplace_back(nd.var, false);
-            n = nd.lo;
+    std::uint32_t r = f.index();
+    while (r > 1) {
+        const std::uint32_t v = var_of(r);
+        const std::uint32_t lo = lo_of(r);
+        if (lo != 0) {
+            literals.emplace_back(v, false);
+            r = lo;
         } else {
-            literals.emplace_back(nd.var, true);
-            n = nd.hi;
+            literals.emplace_back(v, true);
+            r = hi_of(r);
         }
     }
     // build the cube bottom-up in descending level order (literals collected
@@ -149,25 +162,26 @@ void bdd_manager::foreach_cube(
     for (std::size_t k = 0; k < vars.size(); ++k) { pos.emplace(vars[k], k); }
 
     const std::function<void(std::uint32_t, std::size_t)> walk =
-        [&](std::uint32_t n, std::size_t k) {
-        if (n == 0) { return; }
+        [&](std::uint32_t r, std::size_t k) {
+        if (r == 0) { return; }
         if (k == sorted.size()) {
-            assert(n == 1 && "foreach_cube: support exceeds the listed vars");
+            assert(r == 1 && "foreach_cube: support exceeds the listed vars");
             fn(values);
             return;
         }
         const std::uint32_t v = sorted[k];
         const std::size_t slot = pos.at(v);
-        if (n > 1 && nodes_[n].var == v) {
-            const node nd = nodes_[n];
+        if (r > 1 && var_of(r) == v) {
+            const std::uint32_t lo = lo_of(r);
+            const std::uint32_t hi = hi_of(r);
             values[slot] = 0;
-            walk(nd.lo, k + 1);
+            walk(lo, k + 1);
             values[slot] = 1;
-            walk(nd.hi, k + 1);
+            walk(hi, k + 1);
         } else {
-            // n is independent of v (n's top is below v, or n is constant)
+            // r is independent of v (r's top is below v, or r is constant)
             values[slot] = 2;
-            walk(n, k + 1);
+            walk(r, k + 1);
         }
         values[slot] = 2;
     };

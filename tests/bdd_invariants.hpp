@@ -1,0 +1,21 @@
+/// \file bdd_invariants.hpp
+/// \brief Shared gtest helpers for the complement-edge canonicity contract.
+#pragma once
+
+#include "bdd/bdd.hpp"
+
+#include <gtest/gtest.h>
+
+/// Public-API shadow of the canonical-form invariant: from a regular (even
+/// reference) handle the then-cofactor must again be regular, recursively
+/// over the whole reachable DAG.  The complement bit of a handle is its
+/// reference's low bit; `!f` flips it for free, which is how a complemented
+/// root is normalized before descending.
+inline void expect_regular_then_edges(const leq::bdd& f) {
+    const leq::bdd g = (f.index() & 1u) != 0 ? !f : f;
+    if (g.is_const()) { return; }
+    ASSERT_EQ(g.high().index() & 1u, 0u)
+        << "then-edge of a regular node carries a complement bit";
+    expect_regular_then_edges(g.high());
+    expect_regular_then_edges(g.low());
+}

@@ -4,6 +4,7 @@
 /// with known good/bad orders.
 
 #include "bdd/bdd.hpp"
+#include "bdd_invariants.hpp"
 
 #include <gtest/gtest.h>
 
@@ -246,6 +247,70 @@ TEST(bdd_reorder, stats_count_reorder_calls) {
     mgr.reorder_sift();
     mgr.sift_one(2);
     EXPECT_EQ(mgr.stats().reorderings, before + 2);
+}
+
+// ---------------------------------------------------------------------------
+// complement-edge invariants across reordering
+// ---------------------------------------------------------------------------
+
+/// FNV-style hash of a function's full truth table: an order-independent
+/// semantic fingerprint (the oracle view of a root).
+std::uint64_t truth_hash(bdd_manager& mgr, const bdd& f, std::uint32_t nvars) {
+    std::uint64_t h = 1469598103934665603ull;
+    std::vector<bool> a(nvars);
+    for (std::uint32_t r = 0; r < (1u << nvars); ++r) {
+        for (std::uint32_t v = 0; v < nvars; ++v) { a[v] = ((r >> v) & 1) != 0; }
+        h = (h ^ static_cast<std::uint64_t>(mgr.eval(f, a))) *
+            1099511628211ull;
+    }
+    return h;
+}
+
+TEST(bdd_reorder, sifting_preserves_oracle_hashes_and_complement_invariants) {
+    constexpr std::uint32_t nvars = 10;
+    bdd_manager mgr(nvars);
+    std::vector<bdd> roots;
+    for (std::uint32_t s = 0; s < 5; ++s) {
+        const bdd f = random_function(mgr, nvars, 900 + s, 80);
+        roots.push_back(f);
+        roots.push_back(!f); // hold both phases across the reorder
+    }
+    std::vector<std::uint64_t> hashes;
+    for (const bdd& f : roots) { hashes.push_back(truth_hash(mgr, f, nvars)); }
+
+    mgr.reorder_sift();
+    mgr.check_consistency(); // includes the stored-then-edge-regular check
+
+    for (std::size_t k = 0; k < roots.size(); ++k) {
+        EXPECT_EQ(truth_hash(mgr, roots[k], nvars), hashes[k])
+            << "root " << k << " changed semantics across sifting";
+        ASSERT_NO_FATAL_FAILURE(expect_regular_then_edges(roots[k]));
+    }
+    // phase pairing survives in-place rewriting: the handles held for f and
+    // !f must still be complements of each other, node for node
+    for (std::size_t k = 0; k + 1 < roots.size(); k += 2) {
+        EXPECT_EQ(roots[k].index() ^ 1u, roots[k + 1].index());
+        EXPECT_EQ((!roots[k]), roots[k + 1]);
+        EXPECT_EQ(mgr.dag_size(roots[k]), mgr.dag_size(roots[k + 1]));
+    }
+    // recomputing through complementary routes still hits the same nodes
+    const bdd a = roots[0], b = roots[2];
+    EXPECT_EQ((!(a & b)).index(), ((!a) | (!b)).index());
+}
+
+TEST(bdd_reorder, reorder_to_preserves_complement_pairing) {
+    constexpr std::uint32_t nvars = 8;
+    bdd_manager mgr(nvars);
+    const bdd f = random_function(mgr, nvars, 314, 60);
+    const bdd nf = !f;
+    const std::uint64_t h_f = truth_hash(mgr, f, nvars);
+    const std::uint64_t h_nf = truth_hash(mgr, nf, nvars);
+    mgr.reorder_to({7, 5, 3, 1, 0, 2, 4, 6});
+    mgr.check_consistency();
+    EXPECT_EQ(truth_hash(mgr, f, nvars), h_f);
+    EXPECT_EQ(truth_hash(mgr, nf, nvars), h_nf);
+    EXPECT_EQ(f.index() ^ 1u, nf.index());
+    ASSERT_NO_FATAL_FAILURE(expect_regular_then_edges(f));
 }
 
 // ---------------------------------------------------------------------------

@@ -9,6 +9,7 @@
 /// verification checks, and the whole resynthesis pipeline must hold up.
 /// Instances are kept small so the exponential oracle stays cheap.
 
+#include "eq/kiss_flow.hpp"
 #include "eq/resynth.hpp"
 #include "eq/solver.hpp"
 #include "eq/verify.hpp"
@@ -115,6 +116,132 @@ TEST_P(crosscheck_nondet, choice_inputs_keep_flows_in_agreement) {
 
 INSTANTIATE_TEST_SUITE_P(seeds, crosscheck_nondet,
                          ::testing::Range(1u, 11u));
+
+// ---------------------------------------------------------------------------
+// bundled KISS machines: a differential regression net for the BDD substrate
+// ---------------------------------------------------------------------------
+//
+// The three flows exercise the BDD package very differently (partitioned
+// subset construction vs monolithic relations vs explicit automata), so
+// agreement on fixed instances pins the solver's language output across
+// substrate rewrites — the complement-edge migration landed against exactly
+// this check, with the expected state counts below recorded from the
+// pre-complement-edge engine.
+
+/// F (Figure-1 form): inputs (i, v), outputs (o, u); o = v combinationally
+/// and u is i delayed one cycle.
+const char* kiss_f_delay = R"(
+.i 2
+.o 2
+.s 2
+.p 8
+.r s0
+00 s0 s0 00
+01 s0 s0 10
+10 s0 s1 00
+11 s0 s1 10
+00 s1 s0 01
+01 s1 s0 11
+10 s1 s1 01
+11 s1 s1 11
+.e
+)";
+
+/// S: o must be i delayed two cycles.
+const char* kiss_s_delay2 = R"(
+.i 1
+.o 1
+.s 4
+.p 8
+.r s00
+0 s00 s00 0
+1 s00 s10 0
+0 s10 s01 0
+1 s10 s11 0
+0 s01 s00 1
+1 s01 s10 1
+0 s11 s01 1
+1 s11 s11 1
+.e
+)";
+
+/// F: o = v, u = i xor state, state accumulates input parity.
+const char* kiss_f_parity = R"(
+.i 2
+.o 2
+.s 2
+.p 8
+.r s0
+00 s0 s0 00
+01 s0 s0 10
+10 s0 s1 01
+11 s0 s1 11
+00 s1 s1 01
+01 s1 s1 11
+10 s1 s0 00
+11 s1 s0 10
+.e
+)";
+
+/// S: o is the parity of the inputs seen so far (excluding the current one);
+/// X = a one-cycle delay of u solves it, so the CSF is non-empty.
+const char* kiss_s_parity = R"(
+.i 1
+.o 1
+.s 2
+.p 4
+.r p0
+0 p0 p0 0
+1 p0 p1 0
+0 p1 p1 1
+1 p1 p0 1
+.e
+)";
+
+struct kiss_case {
+    const char* name;
+    const char* f;
+    const char* s;
+    std::size_t expected_csf_states;
+    bool expected_empty;
+};
+
+class crosscheck_kiss : public ::testing::TestWithParam<kiss_case> {};
+
+TEST_P(crosscheck_kiss, three_flows_agree_on_bundled_machines) {
+    const kiss_case& c = GetParam();
+    const kiss_instance inst = build_kiss_instance(c.f, c.s);
+
+    const solve_result part = solve_partitioned(*inst.problem);
+    const solve_result mono = solve_monolithic(*inst.problem);
+    const solve_result oracle = solve_explicit(*inst.problem, inst.fixed,
+                                               inst.spec);
+    ASSERT_EQ(part.status, solve_status::ok) << c.name;
+    ASSERT_EQ(mono.status, solve_status::ok) << c.name;
+    ASSERT_EQ(oracle.status, solve_status::ok) << c.name;
+
+    // identical largest-solution languages across all three flows
+    EXPECT_TRUE(language_equivalent(*part.csf, *mono.csf)) << c.name;
+    EXPECT_TRUE(language_equivalent(*part.csf, *oracle.csf)) << c.name;
+    EXPECT_EQ(part.empty_solution, c.expected_empty) << c.name;
+    EXPECT_EQ(mono.empty_solution, c.expected_empty) << c.name;
+    EXPECT_EQ(oracle.empty_solution, c.expected_empty) << c.name;
+
+    // regression pin: state counts recorded from the pre-complement-edge
+    // engine — the substrate rewrite must not change the language
+    EXPECT_EQ(part.csf_states, c.expected_csf_states) << c.name;
+    EXPECT_EQ(mono.csf_states, c.expected_csf_states) << c.name;
+
+    // every solution is still a particular solution and composes safely
+    EXPECT_TRUE(verify_composition_contained(*inst.problem, *part.csf))
+        << c.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    bundled, crosscheck_kiss,
+    ::testing::Values(kiss_case{"delay", kiss_f_delay, kiss_s_delay2, 4, false},
+                      kiss_case{"parity", kiss_f_parity, kiss_s_parity, 2,
+                                false}));
 
 class crosscheck_resynth : public ::testing::TestWithParam<std::uint32_t> {};
 
