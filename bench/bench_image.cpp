@@ -9,6 +9,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+
 namespace {
 
 using namespace leq;
@@ -43,6 +45,25 @@ struct setup {
         q.insert(q.end(), cs.begin(), cs.end());
         return q;
     }
+    [[nodiscard]] std::vector<std::uint32_t> cs_ns_swap() const {
+        std::vector<std::uint32_t> p(mgr.num_vars());
+        for (std::uint32_t v = 0; v < p.size(); ++v) { p[v] = v; }
+        for (std::size_t k = 0; k < cs.size(); ++k) {
+            p[ns[k]] = cs[k];
+            p[cs[k]] = ns[k];
+        }
+        return p;
+    }
+    /// `init` advanced a few image steps (a non-trivial frontier).
+    [[nodiscard]] bdd advanced_frontier(const image_engine& engine,
+                                        int steps = 3) {
+        const std::vector<std::uint32_t> perm = cs_ns_swap();
+        bdd from = init;
+        for (int k = 0; k < steps; ++k) {
+            from |= mgr.permute(engine.image(from), perm);
+        }
+        return from;
+    }
 };
 
 network bench_circuit(int size) {
@@ -59,19 +80,7 @@ void bm_image_scheduled(benchmark::State& state) {
     image_options options;
     const image_engine engine(s.mgr, s.parts(), s.quantify(), options);
     // image from a frontier after a few steps (more interesting than init)
-    bdd from = s.init;
-    const auto perm = [&] {
-        std::vector<std::uint32_t> p(s.mgr.num_vars());
-        for (std::uint32_t v = 0; v < p.size(); ++v) { p[v] = v; }
-        for (std::size_t k = 0; k < s.cs.size(); ++k) {
-            p[s.ns[k]] = s.cs[k];
-            p[s.cs[k]] = s.ns[k];
-        }
-        return p;
-    }();
-    for (int k = 0; k < 3; ++k) {
-        from |= s.mgr.permute(engine.image(from), perm);
-    }
+    const bdd from = s.advanced_frontier(engine);
     for (auto _ : state) {
         benchmark::DoNotOptimize(engine.image(from));
     }
@@ -153,6 +162,51 @@ void bm_cluster_limit(benchmark::State& state) {
     }
 }
 BENCHMARK(bm_cluster_limit)->Arg(0)->Arg(500)->Arg(2500)->Arg(10000);
+
+/// Greedy-vs-affinity cluster comparison table (one row per (size, policy);
+/// the label column names the policy and the resulting cluster count).
+/// range(1) indexes all_cluster_policies.  The from-set is advanced a few
+/// steps so the image sees a non-trivial frontier.
+void bm_cluster_policy(benchmark::State& state) {
+    setup s(bench_circuit(static_cast<int>(state.range(0))));
+    image_options options;
+    options.policy = static_cast<cluster_policy>(state.range(1));
+    // a limit where the policies actually produce different clusterings on
+    // these sizes (the default 2500 merges everything into one cluster,
+    // which would compare identical schedules)
+    options.cluster_limit = 600;
+    const image_engine engine(s.mgr, s.parts(), s.quantify(), options);
+    state.SetLabel(std::string(to_string(options.policy)) + "/" +
+                   std::to_string(engine.num_clusters()) + "cl");
+    const bdd from = s.advanced_frontier(engine);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(engine.image(from));
+    }
+}
+BENCHMARK(bm_cluster_policy)->ArgsProduct({{16, 24, 32}, {0, 1, 2}});
+
+/// The same policy comparison on a full reachability fixpoint over a
+/// structured mix of weakly coupled blocks: adjacent greedy merging is at
+/// the mercy of declaration order, affinity regroups parts by support.
+void bm_cluster_policy_reach(benchmark::State& state) {
+    structured_spec spec;
+    spec.num_inputs = 4;
+    spec.num_outputs = 4;
+    spec.num_latches = static_cast<std::size_t>(state.range(0));
+    spec.seed = 29;
+    const network net = make_structured_mix(spec);
+    image_options options;
+    options.policy = static_cast<cluster_policy>(state.range(1));
+    state.SetLabel(to_string(options.policy));
+    for (auto _ : state) {
+        setup s(net);
+        benchmark::DoNotOptimize(reachable_states(
+            s.mgr, s.fns.next_state, s.cs, s.ns, s.in, s.init, options));
+    }
+}
+BENCHMARK(bm_cluster_policy_reach)
+    ->ArgsProduct({{12, 16}, {0, 1, 2}})
+    ->Unit(benchmark::kMillisecond);
 
 } // namespace
 

@@ -18,6 +18,7 @@
 
 #include "eq/solver.hpp"
 #include "img/image.hpp"
+#include "rel/relation.hpp"
 #include "net/generator.hpp"
 #include "net/latch_split.hpp"
 #include "net/netbdd.hpp"
@@ -73,6 +74,28 @@ void sweep(const network& original, std::size_t x_from, std::size_t x_to,
     }
 }
 
+/// Compiled reachability workload shared by the series C and D sweeps: one
+/// manager, inputs then interleaved cs/ns variables, the partitioned
+/// next-state functions and the initial-state cube.
+struct reach_setup {
+    bdd_manager mgr{0, 20};
+    std::vector<std::uint32_t> in, cs, ns;
+    net_bdds fns;
+    bdd init;
+
+    explicit reach_setup(const network& net) {
+        for (std::size_t k = 0; k < net.num_inputs(); ++k) {
+            in.push_back(mgr.new_var());
+        }
+        for (std::size_t k = 0; k < net.num_latches(); ++k) {
+            cs.push_back(mgr.new_var());
+            ns.push_back(mgr.new_var());
+        }
+        fns = build_net_bdds(mgr, net, in, cs);
+        init = state_cube(mgr, cs, net.initial_state());
+    }
+};
+
 /// Per-strategy reachability comparison table (series C): the same fixpoint
 /// under the three exploration strategies, on a deep-sequential workload
 /// (n-bit counters: 2^n depth, tiny frontiers) and a wide-parallel one
@@ -81,31 +104,51 @@ void sweep(const network& original, std::size_t x_from, std::size_t x_to,
 /// Runs the three strategies on one workload; returns the total seconds spent
 /// so the caller can stop a series that outgrew the time limit.
 double strategy_sweep(const char* label, const network& net) {
-    bdd_manager mgr(0, 20);
-    std::vector<std::uint32_t> in, cs, ns;
-    for (std::size_t k = 0; k < net.num_inputs(); ++k) {
-        in.push_back(mgr.new_var());
-    }
-    for (std::size_t k = 0; k < net.num_latches(); ++k) {
-        cs.push_back(mgr.new_var());
-        ns.push_back(mgr.new_var());
-    }
-    const net_bdds fns = build_net_bdds(mgr, net, in, cs);
-    const bdd init = state_cube(mgr, cs, net.initial_state());
-
+    reach_setup s(net);
     double total = 0;
     for (const reach_strategy strategy : all_reach_strategies) {
         image_options options;
         options.strategy = strategy;
         const auto t0 = std::chrono::steady_clock::now();
         const reach_info info = reachable_states_layered(
-            mgr, fns.next_state, cs, ns, in, init, options);
+            s.mgr, s.fns.next_state, s.cs, s.ns, s.in, s.init, options);
         const double seconds =
             std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                           t0)
                 .count();
         std::printf("%-18s %-10s %8zu %12.0f %10.3f\n", label,
                     to_string(strategy), info.depth, info.total_states,
+                    seconds);
+        std::fflush(stdout);
+        total += seconds;
+    }
+    return total;
+}
+
+/// Cluster-policy comparison (series D): greedy adjacent merge vs affinity
+/// pairing by shared support, on the same reachability fixpoints.  Every row
+/// reaches the identical state set; only the partition clustering — and
+/// therefore the quantification schedule — differs.  Returns total seconds.
+double policy_sweep(const char* label, const network& net) {
+    reach_setup s(net);
+    double total = 0;
+    for (const cluster_policy policy : all_cluster_policies) {
+        image_options options;
+        options.policy = policy;
+        // the timer covers relation construction too: clustering cost is
+        // part of what distinguishes the policies
+        const auto t0 = std::chrono::steady_clock::now();
+        transition_relation rel = transition_relation::next_state(
+            s.mgr, s.fns.next_state, s.cs, s.ns, s.in, options);
+        rel.rename_image_to_current();
+        const reach_info info = reachable_states_layered(
+            rel, s.init, static_cast<std::uint32_t>(s.cs.size()));
+        const double seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          t0)
+                .count();
+        std::printf("%-18s %-10s %8zu %12.0f %10.3f\n", label,
+                    to_string(policy), rel.num_clusters(), info.total_states,
                     seconds);
         std::fflush(stdout);
         total += seconds;
@@ -168,6 +211,23 @@ int main(int argc, char** argv) {
             spec.seed = 23;
             if (strategy_sweep(("mix-" + std::to_string(latches)).c_str(),
                                make_structured_mix(spec)) > limit) {
+                break;
+            }
+        }
+    }
+    {
+        std::printf("\nSeries D: cluster-policy comparison "
+                    "(identical fixpoints, different partition clustering)\n");
+        std::printf("%-18s %-10s %8s %12s %10s\n", "workload", "policy",
+                    "clusters", "states", "time,s");
+        for (const std::size_t latches : {12, 16, 20}) {
+            structured_spec spec;
+            spec.num_inputs = 4;
+            spec.num_outputs = 4;
+            spec.num_latches = latches;
+            spec.seed = 29;
+            if (policy_sweep(("mix-" + std::to_string(latches)).c_str(),
+                             make_structured_mix(spec)) > limit) {
                 break;
             }
         }

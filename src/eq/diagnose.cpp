@@ -13,7 +13,7 @@
 
 #include "eq/verify.hpp"
 
-#include "img/image.hpp"
+#include "rel/relation.hpp"
 
 #include <cassert>
 #include <sstream>
@@ -80,13 +80,11 @@ verify_diagnosis diagnose_particular_contained(const equation_problem& problem,
         throw std::invalid_argument(
             "diagnose_particular_contained: X_P must pair every u with a v");
     }
-    std::vector<std::uint32_t> perm(mgr.num_vars());
-    for (std::uint32_t v = 0; v < perm.size(); ++v) { perm[v] = v; }
-    for (std::size_t m = 0; m < problem.u_vars.size(); ++m) {
-        perm[problem.u_vars[m]] = problem.v_vars[m];
-        perm[problem.v_vars[m]] = problem.u_vars[m];
-    }
-    const bdd v_cube = mgr.cube(problem.v_vars);
+    // X_P step relation (no parts): successors are exists v . r & label,
+    // with the enabled u values renamed to v — shared with verify.cpp
+    // through the relation layer instead of a hand-rolled and_exists loop
+    transition_relation xp_step(mgr, {}, problem.v_vars);
+    xp_step.rename_result(problem.uv_swap_permutation());
 
     // layered BFS over (X_P state as v-assignment, CSF state)
     std::vector<std::vector<bdd>> frames;
@@ -118,8 +116,7 @@ verify_diagnosis diagnose_particular_contained(const equation_problem& problem,
             const bdd r = frames[t][q];
             if (r.is_zero()) { continue; }
             for (const transition& tr : csf.transitions(q)) {
-                const bdd succ =
-                    mgr.permute(mgr.and_exists(tr.label, r, v_cube), perm);
+                const bdd succ = xp_step.image(r, tr.label);
                 const bdd fresh = succ & !total[tr.dest];
                 if (!fresh.is_zero()) {
                     next[tr.dest] |= fresh;
@@ -198,17 +195,12 @@ verify_diagnosis diagnose_composition_contained(const equation_problem& problem,
                     problem.v_vars.end());
     quantify.insert(quantify.end(), problem.cs_f.begin(), problem.cs_f.end());
     quantify.insert(quantify.end(), problem.cs_s.begin(), problem.cs_s.end());
-    const image_engine engine(mgr, parts, quantify);
-    const std::vector<std::uint32_t> ns_to_cs = problem.ns_to_cs_permutation();
+    transition_relation step(mgr, std::move(parts), std::move(quantify));
+    step.rename_result(problem.ns_to_cs_permutation());
 
     // "X enabled" per CSF state, with u substituted through the U_m parts
-    const auto substitute_u = [&](bdd acc) {
-        for (std::size_t m = 0; m < problem.u_vars.size(); ++m) {
-            acc = mgr.and_exists(acc, u_match[m],
-                                 mgr.cube({problem.u_vars[m]}));
-        }
-        return acc;
-    };
+    const transition_relation u_subst(mgr, u_match, problem.u_vars);
+    const auto substitute_u = [&](const bdd& f) { return u_subst.image(f); };
     std::vector<bdd> enabled(csf.num_states(), mgr.zero());
     for (std::uint32_t q = 0; q < csf.num_states(); ++q) {
         enabled[q] = substitute_u(csf.domain(q));
@@ -247,8 +239,7 @@ verify_diagnosis diagnose_composition_contained(const equation_problem& problem,
             const bdd r = frames[t][q];
             if (r.is_zero()) { continue; }
             for (const transition& tr : csf.transitions(q)) {
-                const bdd succ =
-                    mgr.permute(engine.image(r & tr.label), ns_to_cs);
+                const bdd succ = step.image(r, tr.label);
                 const bdd fresh = succ & !total[tr.dest];
                 if (!fresh.is_zero()) {
                     next[tr.dest] |= fresh;

@@ -113,6 +113,16 @@ std::vector<std::uint32_t> equation_problem::ns_to_cs_permutation() const {
     return perm;
 }
 
+std::vector<std::uint32_t> equation_problem::uv_swap_permutation() const {
+    std::vector<std::uint32_t> perm(mgr_->num_vars());
+    for (std::uint32_t v = 0; v < perm.size(); ++v) { perm[v] = v; }
+    for (std::size_t m = 0; m < u_vars.size(); ++m) {
+        perm[u_vars[m]] = v_vars[m];
+        perm[v_vars[m]] = u_vars[m];
+    }
+    return perm;
+}
+
 bdd equation_problem::conformance(std::size_t output) const {
     return f_o[output].iff(s_o[output]);
 }

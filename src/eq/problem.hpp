@@ -92,6 +92,10 @@ public:
     /// next-state variables back to current-state variables).
     [[nodiscard]] std::vector<std::uint32_t> ns_to_cs_permutation() const;
 
+    /// Permutation swapping every u/v pair (an X_P step renames the enabled
+    /// u values into the successor state's v bits; see verify.cpp).
+    [[nodiscard]] std::vector<std::uint32_t> uv_swap_permutation() const;
+
     /// Per-output conformance condition C_j = [O^F_j == O^S_j] (paper,
     /// Section 3.2); over (i, v, cs_f, cs_s).
     [[nodiscard]] bdd conformance(std::size_t output) const;

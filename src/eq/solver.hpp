@@ -33,7 +33,10 @@ enum class solve_status {
 
 struct solve_options {
     image_options img;
-    /// Wall-clock limit; 0 = unlimited.
+    /// Wall-clock limit; 0 = unlimited.  Checked between subset expansions
+    /// by the driver, and additionally armed as a relation-layer deadline
+    /// (`image_options::deadline`) so image chains *inside* one expansion
+    /// cannot blow past the limit.
     double time_limit_seconds = 0.0;
     /// Cap on explored subset states; 0 = unlimited.
     std::size_t max_subset_states = 0;

@@ -8,6 +8,26 @@
 
 namespace leq::detail {
 
+solve_options with_deadline(const solve_options& options) {
+    solve_options armed = options;
+    if (armed.time_limit_seconds > 0 && !armed.img.deadline) {
+        armed.img.deadline =
+            std::chrono::steady_clock::now() +
+            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(armed.time_limit_seconds));
+    }
+    return armed;
+}
+
+solve_result timeout_result(std::chrono::steady_clock::time_point start) {
+    solve_result result;
+    result.status = solve_status::timeout;
+    result.seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+    return result;
+}
+
 std::vector<cofactor_class> split_by_top_block(bdd_manager& mgr, const bdd& p,
                                                std::uint32_t boundary) {
     if (p.is_zero()) { return {}; }
@@ -103,9 +123,8 @@ subset_driver::run(const bdd& initial_state,
     while (!work.empty()) {
         if (options.time_limit_seconds > 0 &&
             elapsed() > options.time_limit_seconds) {
-            result.status = solve_status::timeout;
+            result = timeout_result(start);
             result.subset_states_explored = subsets.size();
-            result.seconds = elapsed();
             return result;
         }
         if (options.max_subset_states > 0 &&
@@ -121,7 +140,16 @@ subset_driver::run(const bdd& initial_state,
         } else {
             work.pop_front();
         }
-        const expansion exp = expand(subsets[id]);
+        expansion exp;
+        try {
+            exp = expand(subsets[id]);
+        } catch (const relation_deadline_exceeded&) {
+            // a single image chain inside the expansion outlived the
+            // deadline armed by with_deadline()
+            result = timeout_result(start);
+            result.subset_states_explored = subsets.size();
+            return result;
+        }
         if (edges.size() <= id) { edges.resize(id + 1); }
         for (const cofactor_class& c : exp.successors) {
             const bdd successor = mgr.permute(c.leaf, ns_to_cs);

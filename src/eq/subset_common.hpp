@@ -16,6 +16,18 @@
 
 namespace leq::detail {
 
+/// Copy of `options` with the relation-layer deadline armed from
+/// `time_limit_seconds` (when a limit is set and no deadline is present).
+/// Solvers pass the result to their transition relations and to the driver,
+/// so a deep image chain *inside* one subset expansion trips the timeout
+/// (the driver's own check only runs between expansions).
+[[nodiscard]] solve_options with_deadline(const solve_options& options);
+
+/// A timeout-status result with `seconds` measured from `start` (shared by
+/// the driver and both solvers' deadline handlers).
+[[nodiscard]] solve_result
+timeout_result(std::chrono::steady_clock::time_point start);
+
 /// One (u,v)-cofactor class of an image P(u,v,ns): the set of (u,v)
 /// assignments (guard) that lead to the same successor state set (leaf, over
 /// the ns variables).

@@ -1,9 +1,15 @@
 /// \file verify.cpp
 /// \brief Symbolic verification of a computed CSF.
+///
+/// Both checks run their successor steps through the shared
+/// transition-relation layer (src/rel/): the X_P walk is a relation with no
+/// parts (image = exists v . r & label, renamed u -> v), the composition
+/// walk is the full u-match + next-state partition, and the "X enabled"
+/// substitution is the u-match relation quantifying u.
 
 #include "eq/verify.hpp"
 
-#include "img/image.hpp"
+#include "rel/relation.hpp"
 
 #include <queue>
 #include <stdexcept>
@@ -23,13 +29,10 @@ bool verify_particular_contained(const equation_problem& problem,
     // and moves to state' = u.  Containment in the (deterministic,
     // prefix-closed) CSF fails exactly when some reachable pair
     // (X_P state, CSF state) admits a (u, v=state) move the CSF lacks.
-    std::vector<std::uint32_t> perm(mgr.num_vars());
-    for (std::uint32_t v = 0; v < perm.size(); ++v) { perm[v] = v; }
-    for (std::size_t m = 0; m < problem.u_vars.size(); ++m) {
-        perm[problem.u_vars[m]] = problem.v_vars[m];
-        perm[problem.v_vars[m]] = problem.u_vars[m];
-    }
-    const bdd v_cube = mgr.cube(problem.v_vars);
+    // The step relation has no parts of its own: successor X_P states are
+    // exists v . r & label, with the enabled u values renamed to v.
+    transition_relation xp_step(mgr, {}, problem.v_vars);
+    xp_step.rename_result(problem.uv_swap_permutation());
 
     std::vector<bdd> reached(csf.num_states(), mgr.zero());
     bdd init = mgr.one();
@@ -50,9 +53,7 @@ bool verify_particular_contained(const equation_problem& problem,
         // miss: a (v in r, any u) step with no CSF transition
         if (!(r & !csf.domain(q)).is_zero()) { return false; }
         for (const transition& t : csf.transitions(q)) {
-            // successor X_P states: the u values enabled from r, renamed to v
-            const bdd next =
-                mgr.permute(mgr.and_exists(t.label, r, v_cube), perm);
+            const bdd next = xp_step.image(r, t.label);
             const bdd grown = reached[t.dest] | next;
             if (grown != reached[t.dest]) {
                 reached[t.dest] = grown;
@@ -89,19 +90,15 @@ bool verify_composition_contained(const equation_problem& problem,
                     problem.v_vars.end());
     quantify.insert(quantify.end(), problem.cs_f.begin(), problem.cs_f.end());
     quantify.insert(quantify.end(), problem.cs_s.begin(), problem.cs_s.end());
-    const image_engine engine(mgr, parts, quantify);
-    const std::vector<std::uint32_t> ns_to_cs = problem.ns_to_cs_permutation();
+    transition_relation step(mgr, std::move(parts), std::move(quantify));
+    step.rename_result(problem.ns_to_cs_permutation());
 
     // per CSF state: "X enabled" condition E_q(i, v, cs_F): exists u with a
     // CSF move where u matches F's u outputs
+    const transition_relation u_subst(mgr, u_match, problem.u_vars);
     std::vector<bdd> enabled(csf.num_states(), mgr.zero());
     for (std::uint32_t q = 0; q < csf.num_states(); ++q) {
-        bdd acc = csf.domain(q);
-        for (std::size_t m = 0; m < problem.u_vars.size(); ++m) {
-            acc = mgr.and_exists(acc, u_match[m],
-                                 mgr.cube({problem.u_vars[m]}));
-        }
-        enabled[q] = acc;
+        enabled[q] = u_subst.image(csf.domain(q));
     }
 
     std::vector<bdd> reached(csf.num_states(), mgr.zero());
@@ -124,8 +121,7 @@ bool verify_composition_contained(const equation_problem& problem,
             }
         }
         for (const transition& t : csf.transitions(q)) {
-            const bdd image_ns = engine.image(r & t.label);
-            const bdd next = mgr.permute(image_ns, ns_to_cs);
+            const bdd next = step.image(r, t.label);
             const bdd grown = reached[t.dest] | next;
             if (grown != reached[t.dest]) {
                 reached[t.dest] = grown;

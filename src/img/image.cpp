@@ -1,149 +1,20 @@
 /// \file image.cpp
-/// \brief Image engine: clustering, quantification scheduling, reachability.
+/// \brief Reachability fixpoints over the relation layer (the clustering and
+/// scheduling machinery itself lives in src/rel/).
 
 #include "img/image.hpp"
 
-#include <algorithm>
 #include <cassert>
-#include <limits>
-#include <unordered_set>
+#include <stdexcept>
 
 namespace leq {
-
-const char* to_string(reach_strategy strategy) {
-    switch (strategy) {
-    case reach_strategy::bfs: return "bfs";
-    case reach_strategy::frontier: return "frontier";
-    case reach_strategy::chaining: return "chaining";
-    }
-    return "?";
-}
-
-image_engine::image_engine(bdd_manager& mgr, std::vector<bdd> parts,
-                           std::vector<std::uint32_t> quantify,
-                           const image_options& options)
-    : mgr_(&mgr), parts_(std::move(parts)), quantify_(std::move(quantify)),
-      leading_cube_(mgr.one()), early_(options.early_quantification),
-      sequential_(options.strategy == reach_strategy::chaining),
-      all_cube_(mgr.cube(quantify_)) {
-    build_schedule(options);
-}
-
-void image_engine::build_schedule(const image_options& options) {
-    if (!early_) {
-        // naive/monolithic mode: one big conjunction, quantified at the end
-        bdd product = mgr_->one();
-        for (const bdd& p : parts_) { product &= p; }
-        clusters_ = {product};
-        cubes_ = {all_cube_};
-        leading_cube_ = mgr_->one();
-        return;
-    }
-
-    // cluster parts greedily up to the node limit
-    std::vector<bdd> clustered;
-    for (const bdd& p : parts_) {
-        if (!clustered.empty() && options.cluster_limit > 0) {
-            const bdd candidate = clustered.back() & p;
-            if (mgr_->dag_size(candidate) <= options.cluster_limit) {
-                clustered.back() = candidate;
-                continue;
-            }
-        }
-        clustered.push_back(p);
-    }
-
-    const std::unordered_set<std::uint32_t> qset(quantify_.begin(),
-                                                 quantify_.end());
-    // quantified support per cluster
-    std::vector<std::vector<std::uint32_t>> qsupport(clustered.size());
-    for (std::size_t k = 0; k < clustered.size(); ++k) {
-        for (const std::uint32_t v : mgr_->support(clustered[k])) {
-            if (qset.count(v) != 0) { qsupport[k].push_back(v); }
-        }
-    }
-
-    std::vector<std::size_t> order;
-    if (sequential_) {
-        // chaining: apply the per-latch/per-cluster relations strictly in
-        // declaration order, each partial product chained into the next part
-        // (variables still retire at their last occurrence along the chain)
-        order.resize(clustered.size());
-        for (std::size_t k = 0; k < order.size(); ++k) { order[k] = k; }
-    } else {
-        // greedy order: at each step pick the cluster that retires the most
-        // quantified variables (variables appearing in no other pending
-        // cluster) net of the variables it newly activates
-        std::vector<bool> used(clustered.size(), false);
-        std::unordered_set<std::uint32_t> live;
-        for (std::size_t round = 0; round < clustered.size(); ++round) {
-            int best_score = std::numeric_limits<int>::min();
-            std::size_t best = 0;
-            for (std::size_t k = 0; k < clustered.size(); ++k) {
-                if (used[k]) { continue; }
-                int retired = 0, activated = 0;
-                for (const std::uint32_t v : qsupport[k]) {
-                    bool elsewhere = false;
-                    for (std::size_t m = 0; m < clustered.size(); ++m) {
-                        if (m == k || used[m]) { continue; }
-                        if (std::find(qsupport[m].begin(), qsupport[m].end(),
-                                      v) != qsupport[m].end()) {
-                            elsewhere = true;
-                            break;
-                        }
-                    }
-                    if (!elsewhere) { ++retired; }
-                    if (live.count(v) == 0) { ++activated; }
-                }
-                const int score = 2 * retired - activated;
-                if (score > best_score) {
-                    best_score = score;
-                    best = k;
-                }
-            }
-            used[best] = true;
-            order.push_back(best);
-            for (const std::uint32_t v : qsupport[best]) { live.insert(v); }
-        }
-    }
-
-    // last occurrence of each quantified variable along the chosen order
-    std::vector<std::vector<std::uint32_t>> retire_at(order.size());
-    std::unordered_set<std::uint32_t> seen;
-    for (std::size_t pos = order.size(); pos-- > 0;) {
-        for (const std::uint32_t v : qsupport[order[pos]]) {
-            if (seen.insert(v).second) { retire_at[pos].push_back(v); }
-        }
-    }
-    // variables in no cluster at all: quantified straight out of `from`
-    std::vector<std::uint32_t> leading;
-    for (const std::uint32_t v : quantify_) {
-        if (seen.count(v) == 0) { leading.push_back(v); }
-    }
-    leading_cube_ = mgr_->cube(leading);
-
-    clusters_.clear();
-    cubes_.clear();
-    for (std::size_t pos = 0; pos < order.size(); ++pos) {
-        clusters_.push_back(clustered[order[pos]]);
-        cubes_.push_back(mgr_->cube(retire_at[pos]));
-    }
-}
-
-bdd image_engine::image(const bdd& from) const {
-    bdd acc = mgr_->exists(from, leading_cube_);
-    for (std::size_t k = 0; k < clusters_.size(); ++k) {
-        acc = mgr_->and_exists(acc, clusters_[k], cubes_[k]);
-    }
-    return acc;
-}
 
 namespace {
 
 /// Shared fixpoint core of `reachable_states` / `reachable_states_layered`.
 /// `layered` additionally records the BFS structure (per-layer sat counts).
 ///
-/// Whatever the engine's internal schedule (greedy vs chaining), the loop
+/// Whatever the relation's internal schedule (greedy vs chaining), the loop
 /// differs only in what each step images:
 ///
 ///   bfs                 Img(reached)   — the whole reached set
@@ -153,40 +24,22 @@ namespace {
 /// both variants add exactly the BFS layer `Img(R_k) \ R_k` per step (a
 /// successor of an older layer is already inside R_k) and agree on depth and
 /// layer contents; they differ only in the size of the operand BDD.
-reach_info reach_fixpoint(bdd_manager& mgr, const std::vector<bdd>& next_state,
-                          const std::vector<std::uint32_t>& cs_vars,
-                          const std::vector<std::uint32_t>& ns_vars,
-                          const std::vector<std::uint32_t>& input_vars,
-                          const bdd& init, const image_options& options,
-                          bool layered) {
-    assert(next_state.size() == cs_vars.size() &&
-           cs_vars.size() == ns_vars.size());
-    std::vector<bdd> parts;
-    parts.reserve(next_state.size());
-    for (std::size_t k = 0; k < next_state.size(); ++k) {
-        parts.push_back(mgr.var(ns_vars[k]).iff(next_state[k]));
-    }
-    std::vector<std::uint32_t> quantify = input_vars;
-    quantify.insert(quantify.end(), cs_vars.begin(), cs_vars.end());
-    const image_engine engine(mgr, parts, quantify, options);
-
-    // ns -> cs renaming
-    std::vector<std::uint32_t> perm(mgr.num_vars());
-    for (std::uint32_t v = 0; v < perm.size(); ++v) { perm[v] = v; }
-    for (std::size_t k = 0; k < cs_vars.size(); ++k) {
-        perm[ns_vars[k]] = cs_vars[k];
-        perm[cs_vars[k]] = ns_vars[k];
-    }
-
+reach_info reach_fixpoint(const transition_relation& relation, const bdd& init,
+                          std::uint32_t nbits, bool layered) {
+    bdd_manager& mgr = relation.manager();
+    const image_options& options = relation.options();
     const bool image_full_set = options.strategy == reach_strategy::bfs;
-    const auto nbits = static_cast<std::uint32_t>(cs_vars.size());
     reach_info info;
     info.reached = init;
     if (layered) { info.layer_states.push_back(mgr.sat_count(init, nbits)); }
     bdd frontier = init;
     while (!frontier.is_zero()) {
+        // the relation checks the deadline between chain steps; this check
+        // bounds the fixpoint itself (many cheap images can outlast the
+        // budget without any single chain step tripping)
+        throw_if_past(options.deadline);
         const bdd& from = image_full_set ? info.reached : frontier;
-        const bdd img_cs = mgr.permute(engine.image(from), perm);
+        const bdd img_cs = relation.image(from);
         frontier = img_cs & (!info.reached);
         info.reached |= frontier;
         if (layered && !frontier.is_zero()) {
@@ -198,6 +51,22 @@ reach_info reach_fixpoint(bdd_manager& mgr, const std::vector<bdd>& next_state,
     return info;
 }
 
+/// Build the structured relation (images renamed back to cs) for the
+/// vector-based entry points.
+transition_relation
+next_state_relation(bdd_manager& mgr, const std::vector<bdd>& next_state,
+                    const std::vector<std::uint32_t>& cs_vars,
+                    const std::vector<std::uint32_t>& ns_vars,
+                    const std::vector<std::uint32_t>& input_vars,
+                    const image_options& options) {
+    assert(next_state.size() == cs_vars.size() &&
+           cs_vars.size() == ns_vars.size());
+    transition_relation relation = transition_relation::next_state(
+        mgr, next_state, cs_vars, ns_vars, input_vars, options);
+    relation.rename_image_to_current();
+    return relation;
+}
+
 } // namespace
 
 bdd reachable_states(bdd_manager& mgr, const std::vector<bdd>& next_state,
@@ -205,8 +74,11 @@ bdd reachable_states(bdd_manager& mgr, const std::vector<bdd>& next_state,
                      const std::vector<std::uint32_t>& ns_vars,
                      const std::vector<std::uint32_t>& input_vars,
                      const bdd& init, const image_options& options) {
-    return reach_fixpoint(mgr, next_state, cs_vars, ns_vars, input_vars, init,
-                          options, /*layered=*/false)
+    const transition_relation relation = next_state_relation(
+        mgr, next_state, cs_vars, ns_vars, input_vars, options);
+    return reach_fixpoint(relation, init,
+                          static_cast<std::uint32_t>(cs_vars.size()),
+                          /*layered=*/false)
         .reached;
 }
 
@@ -217,8 +89,24 @@ reach_info reachable_states_layered(bdd_manager& mgr,
                                     const std::vector<std::uint32_t>& input_vars,
                                     const bdd& init,
                                     const image_options& options) {
-    return reach_fixpoint(mgr, next_state, cs_vars, ns_vars, input_vars, init,
-                          options, /*layered=*/true);
+    const transition_relation relation = next_state_relation(
+        mgr, next_state, cs_vars, ns_vars, input_vars, options);
+    return reach_fixpoint(relation, init,
+                          static_cast<std::uint32_t>(cs_vars.size()),
+                          /*layered=*/true);
+}
+
+reach_info reachable_states_layered(const transition_relation& relation,
+                                    const bdd& init,
+                                    std::uint32_t state_bits) {
+    if (!relation.has_preimage() || !relation.renames_result()) {
+        // without the ns->cs renaming the fixpoint would compare images
+        // over ns against a reached set over cs and silently diverge
+        throw std::invalid_argument(
+            "reachable_states_layered: relation must come from "
+            "transition_relation::next_state with rename_image_to_current()");
+    }
+    return reach_fixpoint(relation, init, state_bits, /*layered=*/true);
 }
 
 } // namespace leq

@@ -1,68 +1,34 @@
 /// \file image.hpp
-/// \brief Partitioned image computation with early quantification.
+/// \brief Partitioned image computation with early quantification — a thin
+/// wrapper over the shared transition-relation subsystem in `src/rel/`.
 ///
 /// The paper reformulates every language-equation operation as an image
 /// computation over partitioned relations (Section 3.2) precisely so that a
-/// decade of image-computation research applies.  This module implements the
-/// core primitive: given relation parts {p_1(x, y), ..., p_n(x, y)} and a set
-/// of variables to quantify, compute
+/// decade of image-computation research applies.  The machinery itself —
+/// partition clustering (greedy/affinity policies), per-cluster
+/// quantification schedules, image/preimage execution and statistics — lives
+/// in `rel/relation.hpp` (`transition_relation`); this header keeps the
+/// historical image-engine API and the reachability fixpoints on top of it:
 ///
 ///     Img(y) = exists x . p_1 & p_2 & ... & p_n & from(x)
 ///
-/// folding the conjunctions one part at a time and quantifying each variable
-/// as soon as the remaining parts no longer mention it (IWLS95-style
-/// scheduling).  A naive mode (conjoin everything, then quantify) is kept for
-/// the ablation benchmark.
+/// folding the conjunctions one cluster at a time and quantifying each
+/// variable as soon as the remaining clusters no longer mention it.  A naive
+/// mode (conjoin everything, then quantify) is kept for the ablation
+/// benchmark.  `image_options` / `reach_strategy` are defined by the
+/// relation layer and re-exported here.
 #pragma once
 
-#include "bdd/bdd.hpp"
+#include "rel/relation.hpp"
 
 #include <cstdint>
 #include <vector>
 
 namespace leq {
 
-/// Reachability / image-application strategy (LTSmin-style pluggable
-/// exploration orders; see `reachable_states` and `subset_driver`).
-///
-///  * bfs       each fixpoint step images the entire reached set
-///              (the textbook R := R | Img(R) iteration)
-///  * frontier  each step images only the states discovered in the previous
-///              step (the seed's historical behavior, and the default: the
-///              frontier is usually a much smaller BDD than the reached set)
-///  * chaining  per-latch/per-cluster relations are applied strictly
-///              sequentially within a step, in declaration order, instead of
-///              the greedy IWLS95 ordering; the fixpoint loop itself is
-///              frontier-based.  For conjunctively partitioned synchronous
-///              relations this is the exact-image analogue of LTSmin's
-///              chaining: successive and_exists applications chain each
-///              partial product into the next relation part.
-///
-/// All three strategies compute the same fixpoint; they differ only in BDD
-/// operation scheduling, which routinely changes runtime by integer factors.
-enum class reach_strategy : std::uint8_t { bfs, frontier, chaining };
-
-/// Strategy name for benchmark tables and diagnostics ("bfs", ...).
-[[nodiscard]] const char* to_string(reach_strategy strategy);
-
-/// All strategies, in a fixed order (benchmark/test sweeps).
-inline constexpr reach_strategy all_reach_strategies[] = {
-    reach_strategy::bfs, reach_strategy::frontier, reach_strategy::chaining};
-
-struct image_options {
-    /// Quantify variables at their last occurrence instead of at the end.
-    bool early_quantification = true;
-    /// Conjoin parts whose product stays below this node count (clustering);
-    /// 0 disables clustering.
-    std::size_t cluster_limit = 2500;
-    /// Exploration/scheduling strategy for reachability fixpoints and the
-    /// image engine's cluster order.
-    reach_strategy strategy = reach_strategy::frontier;
-};
-
 /// Precomputed quantification schedule over a fixed set of relation parts.
 /// Reusable across many image calls (the subset construction calls it once
-/// per subset state).
+/// per subset state).  Thin wrapper over `transition_relation`.
 class image_engine {
 public:
     /// \param parts relation conjuncts
@@ -70,32 +36,32 @@ public:
     ///        inputs i and current-state variables cs)
     image_engine(bdd_manager& mgr, std::vector<bdd> parts,
                  std::vector<std::uint32_t> quantify,
-                 const image_options& options = {});
+                 const image_options& options = {})
+        : relation_(mgr, std::move(parts), std::move(quantify), options) {}
 
     /// Image of `from` (a function over a subset of the quantified and free
     /// variables) under the conjunction of all parts.
-    [[nodiscard]] bdd image(const bdd& from) const;
+    [[nodiscard]] bdd image(const bdd& from) const {
+        return relation_.image(from);
+    }
 
     /// Number of clusters after scheduling (diagnostics).
-    [[nodiscard]] std::size_t num_clusters() const { return clusters_.size(); }
+    [[nodiscard]] std::size_t num_clusters() const {
+        return relation_.num_clusters();
+    }
+
+    /// The underlying relation (schedule inspection, statistics).
+    [[nodiscard]] const transition_relation& relation() const {
+        return relation_;
+    }
 
 private:
-    void build_schedule(const image_options& options);
-
-    bdd_manager* mgr_;
-    std::vector<bdd> parts_;
-    std::vector<std::uint32_t> quantify_;
-    // schedule: ordered clusters with the cube to quantify after conjoining
-    // each cluster
-    std::vector<bdd> clusters_;
-    std::vector<bdd> cubes_;   ///< per cluster; quantified right after it
-    bdd leading_cube_;         ///< vars in no part: quantified from `from`
-    bool early_ = true;
-    bool sequential_ = false;  ///< chaining: keep declaration order
-    bdd all_cube_;             ///< every quantified variable (naive mode)
+    transition_relation relation_;
 };
 
 /// Symbolic forward reachability over partitioned next-state functions.
+///
+/// Honors `options.deadline` (throws `relation_deadline_exceeded`).
 ///
 /// \param next_state T_k(i, cs) per latch
 /// \param cs_vars / ns_vars current/next state variable ids per latch
@@ -124,5 +90,15 @@ reachable_states_layered(bdd_manager& mgr, const std::vector<bdd>& next_state,
                          const std::vector<std::uint32_t>& ns_vars,
                          const std::vector<std::uint32_t>& input_vars,
                          const bdd& init, const image_options& options = {});
+
+/// The same layered fixpoint over a prebuilt structured relation, reusing
+/// its clusters and schedules across sweeps instead of rebuilding them per
+/// call.  `relation` must come from `transition_relation::next_state` with
+/// `rename_image_to_current()` applied (images over cs variables) — throws
+/// std::invalid_argument otherwise; `state_bits` sizes the sat-counts.
+/// Strategy and deadline are read off the relation's options.
+[[nodiscard]] reach_info
+reachable_states_layered(const transition_relation& relation, const bdd& init,
+                         std::uint32_t state_bits);
 
 } // namespace leq

@@ -23,6 +23,10 @@
 #include "net/network.hpp"
 #include "net/sweep.hpp"
 
+#include "rel/cluster.hpp"
+#include "rel/relation.hpp"
+#include "rel/schedule.hpp"
+
 #include "img/image.hpp"
 
 #include "automata/automaton.hpp"
