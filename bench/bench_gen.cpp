@@ -1,0 +1,66 @@
+/// \file bench_gen.cpp
+/// \brief Throughput of the fuzz harness per scenario family: scenarios
+/// generated and differentials executed per second.  Sizes the nightly
+/// campaign — `leq_fuzz --seeds N` across families costs N x the per-family
+/// differential time below.
+///
+/// Usage: leq_bench_gen [seeds-per-family (default 25)]
+
+#include "gen/differential.hpp"
+#include "gen/scenario.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace leq;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    const std::size_t seeds =
+        argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 25;
+    std::printf("%-10s %8s %12s %12s %10s\n", "family", "seeds", "gen/s",
+                "diff/s", "oracle%");
+    for (const scenario_family family : all_scenario_families) {
+        auto start = std::chrono::steady_clock::now();
+        for (std::size_t k = 1; k <= seeds; ++k) {
+            const scenario sc =
+                make_scenario(family, static_cast<std::uint32_t>(k));
+            (void)sc;
+        }
+        const double gen_s = seconds_since(start);
+
+        std::size_t oracle = 0;
+        std::size_t failures = 0;
+        start = std::chrono::steady_clock::now();
+        for (std::size_t k = 1; k <= seeds; ++k) {
+            const scenario sc =
+                make_scenario(family, static_cast<std::uint32_t>(k));
+            const differential_outcome out = run_differential(sc);
+            oracle += out.oracle_run ? 1 : 0;
+            failures += out.ok ? 0 : 1;
+        }
+        const double diff_s = seconds_since(start);
+
+        std::printf("%-10s %8zu %12.0f %12.1f %9.0f%%\n", to_string(family),
+                    seeds, seeds / (gen_s > 0 ? gen_s : 1e-9),
+                    seeds / (diff_s > 0 ? diff_s : 1e-9),
+                    100.0 * static_cast<double>(oracle) /
+                        static_cast<double>(seeds));
+        if (failures != 0) {
+            std::printf("  !! %zu differential failure(s) — run leq_fuzz "
+                        "--family %s to investigate\n",
+                        failures, to_string(family));
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,58 @@
+/// \file fuzz.hpp
+/// \brief The fuzz campaign driver: families x seeds -> differential ->
+/// shrink -> reproducer.
+///
+/// One call runs the whole loop the `leq_fuzz` CLI and the nightly CI job
+/// are built on: generate each (family, seed) scenario, cross-examine the
+/// flows with the differential oracle, and on failure shrink the instance
+/// and package a reproducer.  The report is data, not an exit code, so the
+/// test suite can drive campaigns in-process.
+#pragma once
+
+#include "gen/differential.hpp"
+#include "gen/scenario.hpp"
+#include "gen/shrink.hpp"
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace leq {
+
+struct fuzz_options {
+    /// Families to run; empty = all of `all_scenario_families`.
+    std::vector<scenario_family> families;
+    /// Seeds per family: seed_base, seed_base+1, ..., seed_base+seeds-1.
+    std::size_t seeds = 20;
+    std::uint32_t seed_base = 1;
+    /// Shrink failing scenarios to minimal reproducers.
+    bool shrink_failures = true;
+    differential_options diff;
+    shrink_options shrink;
+    /// When non-empty, every failure writes reproducer files under
+    /// `<stem>-<family>-<seed>*` (see write_reproducer).
+    std::string reproducer_stem;
+    /// Progress / failure log; null = silent.
+    std::ostream* log = nullptr;
+    /// Stop the campaign after this many failures (0 = never stop early).
+    std::size_t max_failures = 10;
+};
+
+struct fuzz_failure {
+    scenario_family family = scenario_family::random;
+    std::uint32_t seed = 0;
+    std::string failure;
+    reproducer repro; ///< shrunk when `shrunk`, otherwise the raw instance
+    bool shrunk = false;
+};
+
+struct fuzz_report {
+    std::size_t scenarios_run = 0;
+    std::vector<fuzz_failure> failures;
+    [[nodiscard]] bool ok() const { return failures.empty(); }
+};
+
+[[nodiscard]] fuzz_report run_fuzz(const fuzz_options& options = {});
+
+} // namespace leq

@@ -97,6 +97,9 @@ bdd transition_relation::image(const bdd& from) const {
     ++stats_.images;
     bdd result = image_schedule_.apply(
         from, options_.deadline, options_.collect_stats ? &stats_ : nullptr);
+    if (options_.fault_suppress_var != image_options::no_fault) {
+        result &= mgr_->literal(options_.fault_suppress_var, false);
+    }
     if (!result_perm_.empty()) {
         result = mgr_->permute(result, result_perm_);
     }
@@ -108,6 +111,9 @@ bdd transition_relation::image(const bdd& from, const bdd& constraint) const {
     bdd result = image_schedule_.apply(
         from, &constraint, options_.deadline,
         options_.collect_stats ? &stats_ : nullptr);
+    if (options_.fault_suppress_var != image_options::no_fault) {
+        result &= mgr_->literal(options_.fault_suppress_var, false);
+    }
     if (!result_perm_.empty()) {
         result = mgr_->permute(result, result_perm_);
     }
@@ -126,7 +132,12 @@ bdd transition_relation::preimage(const bdd& to) const {
             options_.strategy == reach_strategy::chaining);
     }
     ++stats_.preimages;
-    const bdd to_ns = mgr_->permute(to, cs_ns_swap_);
+    bdd to_ns = mgr_->permute(to, cs_ns_swap_);
+    if (options_.fault_suppress_var != image_options::no_fault) {
+        // same injected bug as image(): successors with the variable at 1
+        // silently vanish, so their predecessors drop out of the preimage
+        to_ns &= mgr_->literal(options_.fault_suppress_var, false);
+    }
     return preimage_schedule_->apply(
         to_ns, options_.deadline,
         options_.collect_stats ? &stats_ : nullptr);

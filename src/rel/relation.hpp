@@ -70,6 +70,15 @@ struct image_options {
     /// Also track `relation_stats::peak_intermediate` (costs one DAG
     /// traversal per chain step; off on the hot path by default).
     bool collect_stats = false;
+    /// TEST-ONLY fault injection.  When set to a variable id, every
+    /// image()/preimage() result is wrongly constrained to that variable
+    /// being 0 (successors with the variable at 1 are silently dropped) —
+    /// a controlled stand-in for an image-engine bug.  The differential
+    /// fuzz harness's self-tests (src/gen/, tests/test_gen.cpp) use it to
+    /// prove the cross-flow oracle catches such bugs and that the shrinker
+    /// reduces them to minimal reproducers.  Never set on real workloads.
+    static constexpr std::uint32_t no_fault = 0xffffffffu;
+    std::uint32_t fault_suppress_var = no_fault;
 };
 
 /// A conjunctively partitioned relation with a quantification schedule.

@@ -21,6 +21,7 @@
 
 #include "bdd/bdd.hpp"
 #include "bdd_invariants.hpp"
+#include "gen/scenario.hpp" // test_seed
 
 #include <gtest/gtest.h>
 
@@ -200,6 +201,8 @@ struct oracle_params {
 };
 
 void run_expression_dag(const oracle_params& p) {
+    SCOPED_TRACE("seed " + std::to_string(p.seed) +
+                 " (replay: LEQ_TEST_SEED=" + std::to_string(p.seed) + ")");
     std::mt19937 rng(p.seed * 2654435761u + 13);
     std::uniform_int_distribution<std::uint32_t> pick_nvars(p.min_vars,
                                                             p.max_vars);
@@ -325,7 +328,7 @@ class oracle_small : public ::testing::TestWithParam<unsigned> {};
 
 /// 160 DAGs over 4..8 variables, 24 operations each.
 TEST_P(oracle_small, random_dag_agrees_with_truth_tables) {
-    run_expression_dag({GetParam(), 4, 8, 24});
+    run_expression_dag({leq::test_seed(GetParam()), 4, 8, 24});
 }
 
 INSTANTIATE_TEST_SUITE_P(seeds, oracle_small, ::testing::Range(0u, 160u));
@@ -334,7 +337,7 @@ class oracle_wide : public ::testing::TestWithParam<unsigned> {};
 
 /// 40 DAGs over 9..12 variables, 12 operations each (4096-row tables).
 TEST_P(oracle_wide, random_dag_agrees_with_truth_tables) {
-    run_expression_dag({GetParam(), 9, 12, 12});
+    run_expression_dag({leq::test_seed(GetParam()), 9, 12, 12});
 }
 
 INSTANTIATE_TEST_SUITE_P(seeds, oracle_wide, ::testing::Range(1000u, 1040u));

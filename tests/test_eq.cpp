@@ -5,6 +5,7 @@
 
 #include "eq/solver.hpp"
 #include "eq/verify.hpp"
+#include "gen/scenario.hpp"
 #include "net/generator.hpp"
 #include "net/latch_split.hpp"
 
@@ -78,14 +79,11 @@ TEST(eq_flows, shift_xor_split) {
 class eq_random_property : public ::testing::TestWithParam<unsigned> {};
 
 TEST_P(eq_random_property, flows_agree_on_random_circuits) {
-    random_spec spec;
-    spec.num_inputs = 2;
-    spec.num_outputs = 2;
-    spec.num_latches = 3;
-    spec.seed = 2000 + GetParam();
-    const network net = make_random_sequential(spec);
+    const std::uint32_t seed = test_seed(2000 + GetParam());
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const network net = make_random_net(seed, 2, 2, 3, 4);
     // split one latch; oracle stays tractable (2+1 inputs, 2+1 outputs)
-    check_flows_agree(instance(net, {spec.num_latches - 1}));
+    check_flows_agree(instance(net, {2}));
 }
 
 INSTANTIATE_TEST_SUITE_P(random_seeds, eq_random_property,
@@ -94,12 +92,9 @@ INSTANTIATE_TEST_SUITE_P(random_seeds, eq_random_property,
 class eq_random_two_latch : public ::testing::TestWithParam<unsigned> {};
 
 TEST_P(eq_random_two_latch, symbolic_flows_agree_without_oracle) {
-    random_spec spec;
-    spec.num_inputs = 3;
-    spec.num_outputs = 2;
-    spec.num_latches = 5;
-    spec.seed = 3000 + GetParam();
-    const network net = make_random_sequential(spec);
+    const std::uint32_t seed = test_seed(3000 + GetParam());
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const network net = make_random_net(seed, 3, 2, 5, 4);
     check_flows_agree(instance(net, {2, 4}), /*with_oracle=*/false);
 }
 
@@ -301,20 +296,6 @@ TEST(eq_language, csf_is_input_progressive_walk) {
 
 namespace {
 
-leq::network circuitish(int id) {
-    using namespace leq;
-    switch (id) {
-    case 0: return make_paper_example();
-    case 1: return make_counter(3);
-    case 2: return make_lfsr(4, {2});
-    case 3: return make_shift_xor(3);
-    default: return make_traffic_controller();
-    }
-}
-
-} // namespace
-namespace {
-
 using namespace leq;
 
 TEST(eq_canonical, minimized_csfs_of_both_flows_are_isomorphic_in_size) {
@@ -342,7 +323,7 @@ TEST(eq_canonical, minimized_csfs_of_both_flows_are_isomorphic_in_size) {
 
 TEST(eq_canonical, csf_is_deterministic_across_families) {
     for (int id = 0; id < 5; ++id) {
-        const network net = circuitish(id);
+        const network net = make_menu_circuit(id);
         const instance inst(net, {net.num_latches() - 1});
         const equation_problem problem(inst.split.fixed, inst.original);
         const solve_result r = solve_partitioned(problem);

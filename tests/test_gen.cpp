@@ -1,0 +1,346 @@
+/// \file test_gen.cpp
+/// \brief The scenario kit pins itself: family shape invariants, per-seed
+/// determinism, shrinker minimality, reproducer round-tripping, and the
+/// end-to-end self-test — a deliberately injected image-engine bug must be
+/// caught by the differential oracle and shrunk to a tiny reproducer.
+
+#include "automata/kiss.hpp"
+#include "automata/stg.hpp"
+#include "eq/problem.hpp"
+#include "eq/resynth.hpp"
+#include "gen/differential.hpp"
+#include "gen/fuzz.hpp"
+#include "gen/mutate.hpp"
+#include "gen/scenario.hpp"
+#include "gen/shrink.hpp"
+#include "net/blif.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+
+namespace {
+
+using namespace leq;
+
+// ---------------------------------------------------------------------------
+// family shape invariants
+// ---------------------------------------------------------------------------
+
+class gen_families
+    : public ::testing::TestWithParam<std::tuple<int, std::uint32_t>> {};
+
+TEST_P(gen_families, shape_invariants_hold) {
+    const auto family = all_scenario_families[std::get<0>(GetParam())];
+    const std::uint32_t seed = std::get<1>(GetParam());
+    const scenario s = make_scenario(family, seed);
+    SCOPED_TRACE(s.name);
+
+    ASSERT_NO_THROW(s.fixed.validate());
+    ASSERT_NO_THROW(s.spec.validate());
+
+    // F embeds S's interface: shared ports first, names matching
+    ASSERT_GE(s.fixed.num_inputs(),
+              s.spec.num_inputs() + s.num_choice_inputs);
+    ASSERT_GE(s.fixed.num_outputs(), s.spec.num_outputs());
+    for (std::size_t k = 0; k < s.spec.num_inputs(); ++k) {
+        EXPECT_EQ(s.fixed.signal_name(s.fixed.inputs()[k]),
+                  s.spec.signal_name(s.spec.inputs()[k]));
+    }
+    for (std::size_t j = 0; j < s.spec.num_outputs(); ++j) {
+        EXPECT_EQ(s.fixed.signal_name(s.fixed.outputs()[j]),
+                  s.spec.signal_name(s.spec.outputs()[j]));
+    }
+
+    // the instance builds (construction checks the contract again)
+    ASSERT_NO_THROW(equation_problem(s.fixed, s.spec, s.num_choice_inputs));
+
+    if (s.has_part) {
+        const std::size_t num_u =
+            s.fixed.num_outputs() - s.spec.num_outputs();
+        const std::size_t num_v = s.fixed.num_inputs() -
+                                  s.spec.num_inputs() - s.num_choice_inputs;
+        EXPECT_EQ(s.part.num_inputs(), num_u);
+        EXPECT_EQ(s.part.num_outputs(), num_v);
+        EXPECT_EQ(s.part.initial_state().size(), s.part.num_latches());
+    }
+    if (s.is_mutant) {
+        EXPECT_TRUE(s.has_part);
+        EXPECT_FALSE(s.mutation_desc.empty());
+        EXPECT_NE(write_blif_string(s.spec),
+                  write_blif_string(s.baseline_spec))
+            << "mutation must change the spec";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    families_x_seeds, gen_families,
+    ::testing::Combine(::testing::Range(0, 6),
+                       ::testing::Values(1u, 2u, 7u)));
+
+TEST(gen_determinism, same_seed_reproduces_bit_for_bit) {
+    for (const scenario_family family : all_scenario_families) {
+        const scenario a = make_scenario(family, 11);
+        const scenario b = make_scenario(family, 11);
+        EXPECT_EQ(write_blif_string(a.fixed), write_blif_string(b.fixed))
+            << to_string(family);
+        EXPECT_EQ(write_blif_string(a.spec), write_blif_string(b.spec))
+            << to_string(family);
+    }
+}
+
+TEST(gen_determinism, seeds_vary_the_instance) {
+    // not every family varies on every seed pair; random must
+    const scenario a = make_scenario(scenario_family::random, 1);
+    const scenario b = make_scenario(scenario_family::random, 2);
+    EXPECT_NE(write_blif_string(a.spec), write_blif_string(b.spec));
+}
+
+TEST(gen_menu, canonical_circuits_validate_and_reproduce) {
+    for (int id = 0; id < 10; ++id) {
+        const network a = make_menu_circuit(id);
+        const network b = make_menu_circuit(id);
+        ASSERT_NO_THROW(a.validate()) << id;
+        EXPECT_EQ(write_blif_string(a), write_blif_string(b)) << id;
+        EXPECT_GE(a.num_latches(), 1u) << id;
+    }
+    // salt decorrelates the random tail of the menu
+    EXPECT_NE(write_blif_string(make_menu_circuit(7, 0)),
+              write_blif_string(make_menu_circuit(7, 1)));
+}
+
+TEST(gen_seed_env, leq_test_seed_overrides_fallback) {
+    unsetenv("LEQ_TEST_SEED");
+    EXPECT_EQ(test_seed(42u), 42u);
+    setenv("LEQ_TEST_SEED", "1234", 1);
+    EXPECT_EQ(test_seed(42u), 1234u);
+    setenv("LEQ_TEST_SEED", "not-a-number", 1);
+    EXPECT_EQ(test_seed(42u), 42u);
+    unsetenv("LEQ_TEST_SEED");
+    EXPECT_EQ(test_seed(7u), 7u);
+}
+
+// ---------------------------------------------------------------------------
+// mutation operators
+// ---------------------------------------------------------------------------
+
+TEST(gen_mutate, edits_are_local_and_validated) {
+    const network net = make_menu_circuit(1); // counter(4)
+    const auto all = enumerate_mutations(net);
+    ASSERT_FALSE(all.empty());
+    for (const mutation& m : all) {
+        const network mutated = apply_mutation(net, m);
+        ASSERT_NO_THROW(mutated.validate()) << describe(m, net);
+        EXPECT_EQ(mutated.num_inputs(), net.num_inputs());
+        EXPECT_EQ(mutated.num_outputs(), net.num_outputs());
+        EXPECT_EQ(mutated.num_latches(), net.num_latches());
+    }
+}
+
+TEST(gen_mutate, reductions_shrink_the_interface) {
+    const network net = make_menu_circuit(4); // traffic controller
+    const network no_in = tie_input(net, 0, false);
+    EXPECT_EQ(no_in.num_inputs(), net.num_inputs() - 1);
+    const network no_latch = tie_latch(net, 1);
+    EXPECT_EQ(no_latch.num_latches(), net.num_latches() - 1);
+    const network no_out = drop_output(net, 0);
+    EXPECT_EQ(no_out.num_outputs(), net.num_outputs() - 1);
+    // tying everything still validates (frozen-machine degenerate case)
+    network frozen = net;
+    while (frozen.num_latches() > 0) { frozen = tie_latch(frozen, 0); }
+    ASSERT_NO_THROW(frozen.validate());
+}
+
+TEST(gen_mutate, tied_latch_behaves_as_frozen_state) {
+    // tying a latch must equal holding that state bit at its reset value:
+    // check against direct simulation on the original with the bit forced
+    const network net = make_menu_circuit(1);
+    const network tied = tie_latch(net, 0);
+    std::vector<bool> s_orig(net.num_latches(), false);
+    std::vector<bool> s_tied(tied.num_latches(), false);
+    std::uint32_t lfsr = 0xace1u;
+    for (int step = 0; step < 64; ++step) {
+        std::vector<bool> in(net.num_inputs());
+        for (std::size_t b = 0; b < in.size(); ++b) {
+            lfsr = (lfsr >> 1) ^ (static_cast<std::uint32_t>(-(lfsr & 1u)) &
+                                  0xB400u);
+            in[b] = (lfsr & 1u) != 0;
+        }
+        s_orig[0] = net.latches()[0].init; // force the frozen bit
+        const auto a = net.simulate(s_orig, in);
+        const auto b = tied.simulate(s_tied, in);
+        EXPECT_EQ(a.outputs, b.outputs) << "step " << step;
+        s_orig = a.next_state;
+        s_tied = b.next_state;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// shrinker
+// ---------------------------------------------------------------------------
+
+TEST(gen_shrink, structural_predicate_reaches_1_minimality) {
+    // synthetic failure: "the spec still has a latch".  The greedy loop
+    // must strip everything the predicate does not protect.
+    const scenario sc = make_scenario(scenario_family::counter, 3);
+    const shrink_result r = shrink_instance(
+        {sc.fixed, sc.spec, sc.num_choice_inputs},
+        [](const shrink_instance_desc& d) {
+            return d.spec.num_latches() >= 1;
+        },
+        {});
+    EXPECT_EQ(r.inst.spec.num_latches(), 1u);
+    EXPECT_EQ(r.inst.fixed.num_latches(), 0u);
+    EXPECT_EQ(r.inst.spec.num_inputs(), 0u);
+    EXPECT_EQ(r.inst.spec.num_outputs(), 0u);
+    EXPECT_GT(r.accepted, 0u);
+    EXPECT_GT(r.predicate_runs, r.accepted);
+}
+
+TEST(gen_shrink, passing_instance_is_returned_untouched) {
+    const scenario sc = make_scenario(scenario_family::counter, 1);
+    const shrink_result r = shrink_instance(
+        {sc.fixed, sc.spec, sc.num_choice_inputs},
+        [](const shrink_instance_desc&) { return false; }, {});
+    EXPECT_EQ(r.accepted, 0u);
+    EXPECT_EQ(write_blif_string(r.inst.spec), write_blif_string(sc.spec));
+}
+
+/// Differential options with an image-engine fault injected into the second
+/// matrix entry: every image wrongly suppresses successors that set the
+/// spec's first next-state variable.
+differential_options faulty_diff() {
+    differential_options diff;
+    diff.matrix = {image_options{}, image_options{}};
+    diff.tune_matrix = [](const equation_problem& problem,
+                          std::vector<image_options>& matrix) {
+        if (!problem.ns_s.empty()) {
+            matrix[1].fault_suppress_var = problem.ns_s.front();
+        }
+    };
+    return diff;
+}
+
+TEST(gen_shrink, injected_image_bug_shrinks_to_tiny_reproducer) {
+    // the acceptance check of the harness: a deliberately injected
+    // image-engine bug (successors silently dropped) must (a) be caught by
+    // the differential oracle and (b) shrink to a reproducer of <= 6 states
+    const differential_options diff = faulty_diff();
+    const scenario sc = make_scenario(scenario_family::counter, 1);
+    const differential_outcome broken = run_differential(sc, diff);
+    ASSERT_FALSE(broken.ok) << "fault injection must trip the differential";
+
+    const shrink_result r = shrink_instance(
+        {sc.fixed, sc.spec, sc.num_choice_inputs},
+        [&diff](const shrink_instance_desc& d) {
+            return !run_differential(d.fixed, d.spec, d.num_choice_inputs,
+                                     diff)
+                        .ok;
+        },
+        {});
+    EXPECT_GT(r.accepted, 0u);
+    ASSERT_GT(r.spec_states, 0u) << "state count must be computable";
+    ASSERT_GT(r.fixed_states, 0u);
+    EXPECT_LE(r.spec_states, 6u) << "reproducer spec too large";
+    EXPECT_LE(r.fixed_states, 6u) << "reproducer fixed too large";
+
+    // the shrunk instance still reproduces and the clean flows still agree
+    EXPECT_FALSE(run_differential(r.inst.fixed, r.inst.spec,
+                                  r.inst.num_choice_inputs, diff)
+                     .ok);
+    EXPECT_TRUE(run_differential(r.inst.fixed, r.inst.spec,
+                                 r.inst.num_choice_inputs, {})
+                    .ok);
+}
+
+TEST(gen_fuzz, campaign_catches_and_packages_the_injected_bug) {
+    fuzz_options options;
+    options.families = {scenario_family::counter};
+    options.seeds = 1;
+    options.seed_base = 1;
+    options.diff = faulty_diff();
+    const fuzz_report report = run_fuzz(options);
+    ASSERT_EQ(report.failures.size(), 1u);
+    const fuzz_failure& f = report.failures.front();
+    EXPECT_TRUE(f.shrunk);
+    EXPECT_LE(f.repro.spec_states, 6u);
+    EXPECT_FALSE(f.repro.failure.empty());
+    const std::string text = reproducer_to_string(f.repro);
+    EXPECT_NE(text.find("family: counter"), std::string::npos);
+    EXPECT_NE(text.find(".model"), std::string::npos) << "BLIF missing";
+    EXPECT_NE(text.find(".i "), std::string::npos) << "KISS missing";
+}
+
+TEST(gen_fuzz, clean_campaign_reports_ok) {
+    fuzz_options options;
+    options.seeds = 2;
+    options.seed_base = 40;
+    const fuzz_report report = run_fuzz(options);
+    EXPECT_TRUE(report.ok()) << (report.failures.empty()
+                                     ? ""
+                                     : report.failures.front().failure);
+    EXPECT_EQ(report.scenarios_run, 2u * 6u);
+}
+
+// ---------------------------------------------------------------------------
+// reproducer round-tripping (automaton_io satellite)
+// ---------------------------------------------------------------------------
+
+TEST(gen_reproducer, kiss_output_reparses_to_equivalent_machine) {
+    for (const scenario_family family :
+         {scenario_family::counter, scenario_family::arbiter,
+          scenario_family::pipeline}) {
+        const scenario sc = make_scenario(family, 5);
+        SCOPED_TRACE(sc.name);
+        for (const network* net : {&sc.fixed, &sc.spec}) {
+            std::string kiss;
+            try {
+                kiss = network_to_kiss(*net);
+            } catch (const std::exception&) {
+                continue; // too many states for a KISS table; BLIF covers it
+            }
+            // re-parse against the machine's own STG: same language
+            bdd_manager mgr;
+            std::vector<std::uint32_t> in, out;
+            for (std::size_t k = 0; k < net->num_inputs(); ++k) {
+                in.push_back(mgr.new_var());
+            }
+            for (std::size_t k = 0; k < net->num_outputs(); ++k) {
+                out.push_back(mgr.new_var());
+            }
+            const automaton direct =
+                network_to_automaton(mgr, *net, in, out);
+            const automaton reparsed = read_kiss_string(kiss, mgr, in, out);
+            EXPECT_TRUE(language_equivalent(direct, reparsed));
+        }
+    }
+}
+
+TEST(gen_reproducer, blif_output_reparses_to_equivalent_network) {
+    for (const scenario_family family : all_scenario_families) {
+        const scenario sc = make_scenario(family, 9);
+        SCOPED_TRACE(sc.name);
+        const network back = read_blif_string(write_blif_string(sc.spec));
+        EXPECT_TRUE(simulation_equivalent(sc.spec, back, 4, 128, 99));
+    }
+}
+
+TEST(gen_reproducer, files_are_written_and_reparse) {
+    reproducer repro;
+    repro.family = "counter";
+    repro.seed = 4;
+    repro.option_set = describe_option_matrix(default_option_matrix());
+    repro.failure = "synthetic";
+    const scenario sc = make_scenario(scenario_family::counter, 4);
+    repro.inst = {sc.fixed, sc.spec, 0};
+    const std::string stem =
+        ::testing::TempDir() + "leq_gen_repro";
+    write_reproducer(repro, stem);
+    const network f = read_blif_file(stem + "_f.blif");
+    const network s = read_blif_file(stem + "_s.blif");
+    EXPECT_TRUE(simulation_equivalent(f, sc.fixed, 4, 64, 5));
+    EXPECT_TRUE(simulation_equivalent(s, sc.spec, 4, 64, 6));
+}
+
+} // namespace

@@ -1,6 +1,7 @@
 /// \file test_img.cpp
 /// \brief Tests for partitioned image computation and reachability.
 
+#include "gen/scenario.hpp"
 #include "img/image.hpp"
 #include "net/generator.hpp"
 #include "net/netbdd.hpp"
@@ -55,26 +56,8 @@ std::set<std::vector<bool>> explicit_reachable(const network& net) {
 
 class reach_property : public ::testing::TestWithParam<int> {};
 
-network small_circuit_for(int id) {
-    switch (id) {
-    case 0: return make_paper_example();
-    case 1: return make_counter(4);
-    case 2: return make_lfsr(5, {2});
-    case 3: return make_shift_xor(5);
-    case 4: return make_traffic_controller();
-    default: {
-        random_spec spec;
-        spec.num_inputs = 2;
-        spec.num_outputs = 1;
-        spec.num_latches = 5;
-        spec.seed = static_cast<std::uint32_t>(1000 + id);
-        return make_random_sequential(spec);
-    }
-    }
-}
-
 TEST_P(reach_property, symbolic_reachability_matches_explicit_bfs) {
-    const network net = small_circuit_for(GetParam());
+    const network net = make_menu_circuit(GetParam(), /*salt=*/1);
     bdd_manager mgr;
     auto [fns, vars] = setup(mgr, net);
     const bdd init = state_cube(mgr, vars.cs, net.initial_state());

@@ -2,6 +2,7 @@
 /// \brief Tests for networks, BLIF I/O, BDD sweeps, latch splitting and the
 /// circuit generators.
 
+#include "gen/scenario.hpp"
 #include "net/blif.hpp"
 #include "net/generator.hpp"
 #include "net/latch_split.hpp"
@@ -176,26 +177,8 @@ TEST(blif_io, round_trip_preserves_behaviour) {
 
 class netbdd_property : public ::testing::TestWithParam<int> {};
 
-network circuit_for(int id) {
-    switch (id) {
-    case 0: return make_paper_example();
-    case 1: return make_counter(4);
-    case 2: return make_lfsr(5, {2});
-    case 3: return make_shift_xor(4);
-    case 4: return make_traffic_controller();
-    default: {
-        random_spec spec;
-        spec.num_inputs = 3;
-        spec.num_outputs = 2;
-        spec.num_latches = 4;
-        spec.seed = static_cast<std::uint32_t>(100 + id);
-        return make_random_sequential(spec);
-    }
-    }
-}
-
 TEST_P(netbdd_property, bdd_sweep_matches_simulator) {
-    const network net = circuit_for(GetParam());
+    const network net = make_menu_circuit(GetParam(), /*salt=*/2);
     bdd_manager mgr(
         static_cast<std::uint32_t>(net.num_inputs() + net.num_latches()));
     std::vector<std::uint32_t> in_vars, st_vars;
@@ -293,12 +276,7 @@ TEST(latch_split, composition_reproduces_original_lfsr) {
 }
 
 TEST(latch_split, composition_reproduces_original_random) {
-    random_spec spec;
-    spec.num_inputs = 3;
-    spec.num_outputs = 2;
-    spec.num_latches = 6;
-    spec.seed = 99;
-    check_split_composition(make_random_sequential(spec), {1, 3, 5});
+    check_split_composition(make_random_net(99, 3, 2, 6, 4), {1, 3, 5});
 }
 
 TEST(latch_split, split_last_latches_matches_explicit_indices) {

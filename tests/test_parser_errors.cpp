@@ -4,6 +4,8 @@
 /// valid corner inputs must round-trip.
 
 #include "automata/kiss.hpp"
+#include "gen/scenario.hpp"
+#include "gen/shrink.hpp"
 #include "net/blif.hpp"
 #include "net/generator.hpp"
 
@@ -170,6 +172,57 @@ TEST(kiss_header, tolerates_leading_comments) {
     const kiss_header h = read_kiss_header("# comment\n.i 3\n.o 2\n");
     EXPECT_EQ(h.num_inputs, 3u);
     EXPECT_EQ(h.num_outputs, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// shrinker reproducer output: emitted artifacts re-parse, corrupted
+// variants hit the same clean error paths as the hand-written cases above
+// ---------------------------------------------------------------------------
+
+TEST(reproducer_output, emitted_kiss_reparses_and_corruptions_throw) {
+    const scenario sc = make_scenario(scenario_family::arbiter, 1);
+    const std::string kiss = network_to_kiss(sc.spec);
+    const kiss_header h = read_kiss_header(kiss);
+    ASSERT_EQ(h.num_inputs, sc.spec.num_inputs());
+    ASSERT_EQ(h.num_outputs, sc.spec.num_outputs());
+    EXPECT_NO_THROW(
+        (void)parse(kiss, sc.spec.num_inputs(), sc.spec.num_outputs()));
+
+    // truncate the last transition line mid-token
+    const std::string truncated = kiss.substr(0, kiss.rfind(' '));
+    EXPECT_THROW(
+        (void)parse(truncated, sc.spec.num_inputs(), sc.spec.num_outputs()),
+        std::runtime_error);
+    // lie about the input width
+    std::string lying = kiss;
+    lying.replace(lying.find(".i "), 4, ".i 9");
+    EXPECT_THROW((void)parse(lying, 9, sc.spec.num_outputs()),
+                 std::runtime_error);
+    // strip the header entirely
+    const std::string headerless = kiss.substr(kiss.find(".r"));
+    EXPECT_THROW(
+        (void)parse(headerless, sc.spec.num_inputs(), sc.spec.num_outputs()),
+        std::runtime_error);
+}
+
+TEST(reproducer_output, emitted_blif_reparses_and_corruptions_throw) {
+    const scenario sc = make_scenario(scenario_family::counter, 1);
+    const std::string blif = write_blif_string(sc.fixed);
+    EXPECT_NO_THROW((void)read_blif_string(blif));
+
+    // corrupt one cube row into a width mismatch
+    std::string bad = blif;
+    const std::size_t row = bad.find("\n1");
+    ASSERT_NE(row, std::string::npos);
+    bad.insert(row + 1, "1");
+    EXPECT_THROW((void)read_blif_string(bad), std::runtime_error);
+    // break a latch declaration (single-token .latch line)
+    std::string badlatch = blif;
+    const std::size_t latch = badlatch.find(".latch ");
+    ASSERT_NE(latch, std::string::npos);
+    const std::size_t eol = badlatch.find('\n', latch);
+    badlatch.replace(latch, eol - latch, ".latch x");
+    EXPECT_THROW((void)read_blif_string(badlatch), std::runtime_error);
 }
 
 } // namespace

@@ -13,7 +13,7 @@
 #include "eq/resynth.hpp"
 #include "eq/solver.hpp"
 #include "eq/verify.hpp"
-#include "net/generator.hpp"
+#include "gen/scenario.hpp"
 #include "net/latch_split.hpp"
 
 #include <gtest/gtest.h>
@@ -22,21 +22,11 @@ namespace {
 
 using namespace leq;
 
-network random_net(std::uint32_t seed, std::size_t latches) {
-    random_spec spec;
-    spec.num_inputs = 2;
-    spec.num_outputs = 2;
-    spec.num_latches = latches;
-    spec.seed = seed;
-    spec.max_fanin = 3;
-    return make_random_sequential(spec);
-}
-
 class crosscheck : public ::testing::TestWithParam<std::uint32_t> {};
 
 TEST_P(crosscheck, three_flows_agree_and_verify) {
-    const std::uint32_t seed = GetParam();
-    const network original = random_net(seed, 4);
+    const std::uint32_t seed = test_seed(GetParam());
+    const network original = make_random_net(seed, 2, 2, 4, 3);
     const split_result split = split_last_latches(original, 2);
     const equation_problem problem(split.fixed, original);
 
@@ -66,29 +56,14 @@ INSTANTIATE_TEST_SUITE_P(seeds, crosscheck, ::testing::Range(1u, 21u));
 class crosscheck_nondet : public ::testing::TestWithParam<std::uint32_t> {};
 
 TEST_P(crosscheck_nondet, choice_inputs_keep_flows_in_agreement) {
-    const std::uint32_t seed = GetParam();
-    // F gets one of the original's inputs re-declared as a choice input:
-    // build F from a split, then append a fresh w wired into nothing and a
-    // second w-affected instance by reusing a random net with 3 inputs where
-    // the third becomes w
-    random_spec spec;
-    spec.num_inputs = 3; // the third input will be F's choice input
-    spec.num_outputs = 2;
-    spec.num_latches = 3;
-    spec.seed = seed;
-    spec.max_fanin = 3;
-    const network noisy = make_random_sequential(spec);
+    const std::uint32_t seed = test_seed(GetParam());
+    // F is a random net with 3 inputs whose third becomes the choice input
+    const network noisy = make_random_net(seed, 3, 2, 3, 3);
 
     // spec S: an independent random machine over the two real inputs; the
     // generator names ports positionally (x0, x1, ... / z0, z1, ...), so
     // F's first two inputs and both outputs match S's by construction
-    random_spec sspec;
-    sspec.num_inputs = 2;
-    sspec.num_outputs = 2;
-    sspec.num_latches = 2;
-    sspec.seed = seed + 1000;
-    sspec.max_fanin = 3;
-    const network s = make_random_sequential(sspec);
+    const network s = make_random_net(seed + 1000, 2, 2, 2, 3);
     const network& f = noisy;
     ASSERT_EQ(f.signal_name(f.inputs()[0]), s.signal_name(s.inputs()[0]));
     ASSERT_EQ(f.signal_name(f.outputs()[0]), s.signal_name(s.outputs()[0]));
@@ -246,8 +221,8 @@ INSTANTIATE_TEST_SUITE_P(
 class crosscheck_resynth : public ::testing::TestWithParam<std::uint32_t> {};
 
 TEST_P(crosscheck_resynth, pipeline_on_random_circuits) {
-    const std::uint32_t seed = GetParam();
-    const network original = random_net(seed + 500, 4);
+    const std::uint32_t seed = test_seed(GetParam());
+    const network original = make_random_net(seed + 500, 2, 2, 4, 3);
     const resynth_result r = resynthesize(original, {2, 3});
     ASSERT_TRUE(r.solved) << "seed " << seed;
     if (!r.rebuilt) { GTEST_SKIP() << "no Moore sub-solution reachable"; }

@@ -8,6 +8,7 @@
 
 #include "eq/solver.hpp"
 #include "eq/verify.hpp"
+#include "gen/scenario.hpp"
 #include "img/image.hpp"
 #include "net/generator.hpp"
 #include "net/latch_split.hpp"
@@ -62,30 +63,15 @@ std::size_t explicit_reachable_count(const network& net) {
     return seen.size();
 }
 
-/// 24 machines: random sequential logic of varying shape plus a few
-/// structured families (deep counter, wide shift, LFSR, paired mix).
+/// 24 machines: the deliberately deep/wide stress shapes this suite exists
+/// for (strategies diverge most past ~5 sequential levels / 6 parallel
+/// latches), then the shared menu's named families and random tail.
 network machine_for(int id) {
     switch (id) {
-    case 0: return make_paper_example();
-    case 1: return make_counter(6);          // deep-sequential
+    case 1: return make_counter(6);    // deep-sequential
     case 2: return make_lfsr(6, {1, 4});
-    case 3: return make_shift_xor(7);        // wide-parallel
-    case 4: return make_traffic_controller();
-    case 5: {
-        structured_spec spec;
-        spec.num_latches = 8;
-        spec.seed = 5;
-        return make_structured_mix(spec);
-    }
-    default: {
-        random_spec spec;
-        spec.num_inputs = 1 + static_cast<std::size_t>(id) % 3;
-        spec.num_outputs = 1 + static_cast<std::size_t>(id) % 2;
-        spec.num_latches = 4 + static_cast<std::size_t>(id) % 5;
-        spec.max_fanin = 2 + static_cast<std::size_t>(id) % 3;
-        spec.seed = static_cast<std::uint32_t>(7000 + 13 * id);
-        return make_random_sequential(spec);
-    }
+    case 3: return make_shift_xor(7);  // wide-parallel
+    default: return make_menu_circuit(id);
     }
 }
 

@@ -5,6 +5,7 @@
 #include "eq/solver.hpp"
 #include "eq/subsolution.hpp"
 #include "eq/verify.hpp"
+#include "gen/scenario.hpp"
 #include "net/generator.hpp"
 #include "net/latch_split.hpp"
 
@@ -126,13 +127,9 @@ INSTANTIATE_TEST_SUITE_P(families, reduce_families, ::testing::Range(0, 6));
 class reduce_random : public ::testing::TestWithParam<std::uint32_t> {};
 
 TEST_P(reduce_random, sound_on_random_circuits) {
-    random_spec spec;
-    spec.num_inputs = 2;
-    spec.num_outputs = 2;
-    spec.num_latches = 4;
-    spec.seed = GetParam();
-    spec.max_fanin = 3;
-    solved s(make_random_sequential(spec), {2, 3});
+    const std::uint32_t seed = test_seed(GetParam());
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    solved s(make_random_net(seed, 2, 2, 4, 3), {2, 3});
     ASSERT_EQ(s.result.status, solve_status::ok);
     if (s.result.empty_solution) { GTEST_SKIP(); }
     const auto r =

@@ -7,6 +7,7 @@
 /// image chains, reachability fixpoints and both solver flows.
 
 #include "eq/solver.hpp"
+#include "gen/scenario.hpp"
 #include "img/image.hpp"
 #include "net/generator.hpp"
 #include "net/latch_split.hpp"
@@ -72,29 +73,7 @@ std::vector<image_options> option_matrix() {
     return matrix;
 }
 
-network machine_for(int id) {
-    switch (id) {
-    case 0: return make_paper_example();
-    case 1: return make_counter(5);
-    case 2: return make_lfsr(6, {1, 4});
-    case 3: return make_shift_xor(6);
-    case 4: {
-        structured_spec spec;
-        spec.num_latches = 8;
-        spec.seed = 31;
-        return make_structured_mix(spec);
-    }
-    default: {
-        random_spec spec;
-        spec.num_inputs = 1 + static_cast<std::size_t>(id) % 3;
-        spec.num_outputs = 1;
-        spec.num_latches = 4 + static_cast<std::size_t>(id) % 4;
-        spec.max_fanin = 2 + static_cast<std::size_t>(id) % 3;
-        spec.seed = static_cast<std::uint32_t>(4000 + 17 * id);
-        return make_random_sequential(spec);
-    }
-    }
-}
+network machine_for(int id) { return make_menu_circuit(id, /*salt=*/4); }
 
 /// A few interesting from/to sets over the cs variables: the initial state,
 /// a random union of states, and a random function of the cs variables.

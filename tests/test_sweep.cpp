@@ -3,6 +3,7 @@
 /// removal — always preserving IO behaviour.
 
 #include "eq/resynth.hpp" // simulation_equivalent
+#include "gen/scenario.hpp"
 #include "net/compose.hpp"
 #include "net/generator.hpp"
 #include "net/latch_split.hpp"
@@ -169,13 +170,9 @@ TEST(sweep, cleans_up_composed_networks) {
 }
 
 TEST(sweep, random_circuits_survive) {
-    for (std::uint32_t seed = 1; seed <= 8; ++seed) {
-        random_spec spec;
-        spec.num_inputs = 3;
-        spec.num_outputs = 3;
-        spec.num_latches = 5;
-        spec.seed = seed;
-        const network net = make_random_sequential(spec);
+    for (std::uint32_t k = 1; k <= 8; ++k) {
+        const std::uint32_t seed = test_seed(k);
+        const network net = make_random_net(seed, 3, 3, 5, 4);
         const network swept = sweep_network(net);
         EXPECT_TRUE(simulation_equivalent(net, swept, 3, 128, seed))
             << "seed " << seed;
