@@ -1,0 +1,80 @@
+/// \file bench_batch.cpp
+/// \brief Batch-campaign throughput series: the same manifest of generated
+/// equations solved with a growing worker pool, one BDD manager per worker.
+///
+/// Prints a markdown table of wall time, equations/second and speedup over
+/// the single-worker run.  Because workers share nothing, the series
+/// measures pure scheduling overhead plus memory-bandwidth contention —
+/// the scaling headroom available to campaign sharding.
+///
+/// Usage: leq_bench_batch [jobs-per-family]   (default 6)
+
+#include "cli/batch.hpp"
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using namespace leq;
+
+std::vector<batch_job> make_jobs(std::size_t per_family) {
+    const char* families[] = {"random", "counter", "arbiter", "pipeline",
+                              "nondet", "mutant"};
+    std::vector<batch_job> jobs;
+    for (const char* family : families) {
+        for (std::size_t seed = 1; seed <= per_family; ++seed) {
+            const std::string spec =
+                "gen:" + std::string(family) + ":" + std::to_string(seed);
+            generated_pair pair = make_gen_pair(spec);
+            batch_job job;
+            job.name = spec.substr(4);
+            job.fixed = std::move(pair.fixed);
+            job.spec = std::move(pair.spec);
+            job.has_choice_inputs = true;
+            job.choice_inputs = pair.num_choice_inputs;
+            jobs.push_back(std::move(job));
+        }
+    }
+    return jobs;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    std::size_t per_family = 6;
+    if (argc > 1) { per_family = std::strtoul(argv[1], nullptr, 10); }
+    const std::vector<batch_job> jobs = make_jobs(per_family);
+
+    batch_options options;
+    options.config.timing = false;
+    options.config.solve.time_limit_seconds = 60.0;
+
+    std::vector<std::size_t> worker_counts = {1, 2, 4};
+    const std::size_t hw = std::thread::hardware_concurrency();
+    if (hw > 4) { worker_counts.push_back(hw); }
+
+    std::cout << "batch throughput: " << jobs.size()
+              << " generated equations (6 families x " << per_family
+              << " seeds)\n\n"
+              << "| workers | wall s | eq/s | speedup |\n"
+              << "| --- | --- | --- | --- |\n";
+    double base_seconds = 0.0;
+    for (const std::size_t workers : worker_counts) {
+        options.jobs = workers;
+        const batch_report report = run_batch(jobs, options);
+        if (!report.all_ok()) {
+            std::cerr << "bench_batch: " << report.gave_up << " gave up, "
+                      << report.errors << " errors\n";
+            return 1;
+        }
+        if (base_seconds == 0.0) { base_seconds = report.wall_seconds; }
+        std::cout << "| " << workers << " | " << report.wall_seconds << " | "
+                  << static_cast<double>(jobs.size()) / report.wall_seconds
+                  << " | " << base_seconds / report.wall_seconds << "x |\n";
+    }
+    return 0;
+}

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Docs-drift gate, run by the CI docs job from the repository root:
+#
+#   1. extract the README quickstart block (between the quickstart:begin /
+#      quickstart:end markers) and execute it verbatim with bash -e — a
+#      renamed flag, moved example, or broken subcommand fails here;
+#   2. check every relative markdown link in README.md and docs/*.md
+#      resolves to an existing file.
+#
+# Usage: scripts/check_docs.sh   (expects ./build/leq to exist)
+set -euo pipefail
+
+fail() { echo "check_docs: $*" >&2; exit 1; }
+
+[ -x build/leq ] || fail "./build/leq not built (cmake --build build first)"
+
+# ---- 1. run the quickstart verbatim -----------------------------------------
+quickstart=$(awk '/<!-- quickstart:begin -->/,/<!-- quickstart:end -->/' \
+                 README.md | sed -n '/^```sh$/,/^```$/p' | sed '1d;$d')
+[ -n "$quickstart" ] || fail "no quickstart block found in README.md"
+
+echo "== running README quickstart =="
+printf '%s\n' "$quickstart"
+bash -euo pipefail -c "$quickstart" ||
+    fail "README quickstart drifted from the built leq binary"
+echo "== quickstart ok =="
+
+# ---- 2. markdown link check -------------------------------------------------
+status=0
+for doc in README.md docs/*.md; do
+    dir=$(dirname "$doc")
+    # markdown links, minus web URLs and intra-page anchors
+    while IFS= read -r target; do
+        # strip a trailing #anchor
+        file=${target%%#*}
+        [ -n "$file" ] || continue
+        if [ ! -e "$dir/$file" ]; then
+            echo "check_docs: $doc links to missing file '$target'" >&2
+            status=1
+        fi
+    done < <(grep -o '](\([^)]*\))' "$doc" | sed 's/^](//; s/)$//' |
+             grep -v '^https\?://' || true)
+done
+[ "$status" -eq 0 ] || fail "broken markdown links"
+echo "== links ok =="

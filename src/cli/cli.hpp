@@ -1,0 +1,33 @@
+/// \file cli.hpp
+/// \brief The `leq` end-user CLI, as a library entry point.
+///
+/// `tools/leq.cpp` is a two-line main over `run_leq_cli`; the test suite
+/// (tests/test_cli.cpp) drives the same entry point in-process, capturing
+/// stdout/stderr through the stream parameters, so every subcommand and
+/// error path is testable without spawning processes.
+///
+/// Subcommands (see `leq --help` or docs/ARCHITECTURE.md):
+///   solve F S      compute the CSF, emit one JSON stats line
+///   verify F S     solve, then check F . X <= S symbolically
+///   diagnose F S   solve, then diagnose (optionally a --impl candidate)
+///                  with a counterexample trace on failure
+///   reduce F S     solve, then reduce the CSF to a small contained FSM
+///   batch MANIFEST solve a manifest of equations on a thread pool
+///
+/// Exit codes: 0 success (an unsolvable equation still exits 0 — the JSON
+/// carries `"solution":"empty"`), 1 solver gave up / a check failed / a job
+/// errored, 2 usage error, 3 inputs unreadable.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace leq {
+
+/// Run the CLI: `args` excludes the program name ({"solve", "f.kiss", ...}).
+/// JSON records go to `out`; usage, summaries and errors go to `err`.
+[[nodiscard]] int run_leq_cli(const std::vector<std::string>& args,
+                              std::ostream& out, std::ostream& err);
+
+} // namespace leq

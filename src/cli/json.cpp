@@ -1,0 +1,67 @@
+/// \file json.cpp
+/// \brief JSON-line rendering helpers.
+
+#include "cli/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace leq {
+
+std::string json_escape(const std::string& text) {
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(c) & 0xff);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string json_number(double value) {
+    if (!std::isfinite(value)) { return "null"; } // JSON has no inf/nan
+    char buf[40];
+    // shortest of %g that still round-trips; fall back to full precision
+    std::snprintf(buf, sizeof buf, "%g", value);
+    double parsed = 0.0;
+    std::sscanf(buf, "%lf", &parsed);
+    if (parsed != value) {
+        std::snprintf(buf, sizeof buf, "%.17g", value);
+    }
+    // embedding hosts may have set an LC_NUMERIC whose decimal point is
+    // ',' — printf honors it, JSON does not
+    for (char* c = buf; *c != '\0'; ++c) {
+        if (*c == ',') { *c = '.'; }
+    }
+    return buf;
+}
+
+std::string json_object::str() const {
+    std::string out = "{";
+    for (std::size_t k = 0; k < fields_.size(); ++k) {
+        if (k > 0) { out += ","; }
+        out += "\"" + json_escape(fields_[k].first) + "\":" +
+               fields_[k].second;
+    }
+    return out + "}";
+}
+
+void json_object::add(const std::string& name, const std::string& rendered) {
+    fields_.emplace_back(name, rendered);
+}
+
+} // namespace leq

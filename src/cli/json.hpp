@@ -1,0 +1,58 @@
+/// \file json.hpp
+/// \brief Minimal JSON-line emission for the `leq` CLI.
+///
+/// The CLI's contract is one JSON object per solve on stdout (JSON Lines),
+/// machine-readable and byte-deterministic for equal inputs: fields are
+/// emitted in insertion order, numbers avoid locale formatting, and doubles
+/// use a fixed shortest-round-trip style.  This is a writer only — the tool
+/// never parses JSON.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace leq {
+
+/// Escape a string for embedding in a JSON document (quotes not included).
+[[nodiscard]] std::string json_escape(const std::string& text);
+
+/// Render a double the way the CLI emits numbers: shortest form that
+/// round-trips ("%.17g" trimmed via "%g" when exact), with the decimal
+/// point normalized to '.' whatever the host's LC_NUMERIC says.
+[[nodiscard]] std::string json_number(double value);
+
+/// An insertion-ordered JSON object builder.  Values are rendered at
+/// insertion; `str()` wraps them in braces.  Nested values (objects,
+/// arrays) are added pre-rendered via `field_raw`.
+class json_object {
+public:
+    void field(const std::string& name, const std::string& value) {
+        add(name, "\"" + json_escape(value) + "\"");
+    }
+    void field(const std::string& name, const char* value) {
+        field(name, std::string(value));
+    }
+    void field(const std::string& name, bool value) {
+        add(name, value ? "true" : "false");
+    }
+    void field(const std::string& name, std::size_t value) {
+        add(name, std::to_string(value));
+    }
+    void field(const std::string& name, double value) {
+        add(name, json_number(value));
+    }
+    /// Pre-rendered JSON (a nested object or array).
+    void field_raw(const std::string& name, const std::string& json) {
+        add(name, json);
+    }
+
+    [[nodiscard]] std::string str() const;
+
+private:
+    void add(const std::string& name, const std::string& rendered);
+    std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+} // namespace leq

@@ -78,6 +78,7 @@ solve_result solve_explicit(const equation_problem& problem,
     result.seconds = std::chrono::duration<double>(
                          std::chrono::steady_clock::now() - start)
                          .count();
+    result.stats.live_nodes_after = problem.mgr().live_node_count();
     return result;
 }
 

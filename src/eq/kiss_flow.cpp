@@ -11,10 +11,8 @@
 
 namespace leq {
 
-namespace {
-
-std::vector<std::string> port_names(const char* stem, std::size_t count,
-                                    std::size_t from = 0) {
+std::vector<std::string> kiss_port_names(const char* stem, std::size_t count,
+                                         std::size_t from) {
     std::vector<std::string> names;
     names.reserve(count);
     for (std::size_t k = 0; k < count; ++k) {
@@ -23,12 +21,10 @@ std::vector<std::string> port_names(const char* stem, std::size_t count,
     return names;
 }
 
-/// Parse one KISS machine and encode it as a network with the given port
-/// names.  A scratch manager hosts the parse; the network carries over.
-network encode_kiss(const std::string& text,
-                    const std::vector<std::string>& input_names,
-                    const std::vector<std::string>& output_names,
-                    const std::string& model_name) {
+network encode_kiss_network(const std::string& text,
+                            const std::vector<std::string>& input_names,
+                            const std::vector<std::string>& output_names,
+                            const std::string& model_name) {
     bdd_manager mgr;
     std::vector<std::uint32_t> in_vars, out_vars;
     for (std::size_t k = 0; k < input_names.size(); ++k) {
@@ -42,7 +38,35 @@ network encode_kiss(const std::string& text,
                                 output_names, model_name);
 }
 
-} // namespace
+network encode_kiss_fixed(const std::string& f_kiss,
+                          std::size_t num_shared_inputs,
+                          std::size_t num_shared_outputs, std::size_t num_v,
+                          std::size_t num_u, std::size_t num_choice_inputs,
+                          const std::string& model_name) {
+    // shared names first, then the unknown's wires, then choice inputs
+    std::vector<std::string> f_inputs =
+        kiss_port_names("i", num_shared_inputs);
+    for (const std::string& name : kiss_port_names("xv", num_v)) {
+        f_inputs.push_back(name);
+    }
+    for (const std::string& name : kiss_port_names("w", num_choice_inputs)) {
+        f_inputs.push_back(name);
+    }
+    std::vector<std::string> f_outputs =
+        kiss_port_names("z", num_shared_outputs);
+    for (const std::string& name : kiss_port_names("xu", num_u)) {
+        f_outputs.push_back(name);
+    }
+    return encode_kiss_network(f_kiss, f_inputs, f_outputs, model_name);
+}
+
+network encode_kiss_spec(const std::string& s_kiss, std::size_t num_inputs,
+                         std::size_t num_outputs,
+                         const std::string& model_name) {
+    return encode_kiss_network(s_kiss, kiss_port_names("i", num_inputs),
+                               kiss_port_names("z", num_outputs),
+                               model_name);
+}
 
 kiss_instance build_kiss_instance(const std::string& f_kiss,
                                   const std::string& s_kiss) {
@@ -55,18 +79,10 @@ kiss_instance build_kiss_instance(const std::string& f_kiss,
     const std::size_t num_v = fh.num_inputs - sh.num_inputs;
     const std::size_t num_u = fh.num_outputs - sh.num_outputs;
 
-    // shared names first, then the internal v/u wires
-    std::vector<std::string> f_inputs = port_names("i", sh.num_inputs);
-    const auto v_names = port_names("xv", num_v);
-    f_inputs.insert(f_inputs.end(), v_names.begin(), v_names.end());
-    std::vector<std::string> f_outputs = port_names("z", sh.num_outputs);
-    const auto u_names = port_names("xu", num_u);
-    f_outputs.insert(f_outputs.end(), u_names.begin(), u_names.end());
-
     kiss_instance inst;
-    inst.fixed = encode_kiss(f_kiss, f_inputs, f_outputs, "kiss_f");
-    inst.spec = encode_kiss(s_kiss, port_names("i", sh.num_inputs),
-                            port_names("z", sh.num_outputs), "kiss_s");
+    inst.fixed = encode_kiss_fixed(f_kiss, sh.num_inputs, sh.num_outputs,
+                                   num_v, num_u);
+    inst.spec = encode_kiss_spec(s_kiss, sh.num_inputs, sh.num_outputs);
     inst.problem =
         std::make_unique<equation_problem>(inst.fixed, inst.spec);
     return inst;

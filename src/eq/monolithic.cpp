@@ -45,10 +45,17 @@ solve_result solve_monolithic(const equation_problem& problem,
         for (std::size_t k = 0; k < problem.ns_f.size(); ++k) {
             f_parts.push_back(mgr.var(problem.ns_f[k]).iff(problem.f_next[k]));
         }
-        const bdd to_f =
-            transition_relation(mgr, std::move(f_parts), problem.w_vars,
-                                local.img)
-                .image(mgr.one());
+        // each relation lives only long enough to produce its product (its
+        // merged-cluster BDDs must not stay referenced through the subset
+        // construction); its counters are folded into `stats` on the way out
+        solve_stats stats;
+        bdd to_f;
+        {
+            const transition_relation f_rel(mgr, std::move(f_parts),
+                                            problem.w_vars, local.img);
+            to_f = f_rel.image(mgr.one());
+            detail::accumulate_stats(stats, f_rel);
+        }
 
         // TO_S(i,o,cs_S,ns_S): nothing to hide, the image is the product
         std::vector<bdd> s_parts;
@@ -58,9 +65,13 @@ solve_result solve_monolithic(const equation_problem& problem,
         for (std::size_t k = 0; k < problem.ns_s.size(); ++k) {
             s_parts.push_back(mgr.var(problem.ns_s[k]).iff(problem.s_next[k]));
         }
-        const bdd to_s =
-            transition_relation(mgr, std::move(s_parts), {}, local.img)
-                .image(mgr.one());
+        bdd to_s;
+        {
+            const transition_relation s_rel(mgr, std::move(s_parts), {},
+                                            local.img);
+            to_s = s_rel.image(mgr.one());
+            detail::accumulate_stats(stats, s_rel);
+        }
 
         // ---- eager completion of S with the DC1 state ------------------------
         // DC1 = (dc = 1, cs_S = 0...0); one extra state bit (the paper notes
@@ -87,10 +98,13 @@ solve_result solve_monolithic(const equation_problem& problem,
         std::vector<std::uint32_t> io_vars = problem.i_vars;
         io_vars.insert(io_vars.end(), problem.o_vars.begin(),
                        problem.o_vars.end());
-        const bdd hidden =
-            transition_relation(mgr, {to_f, to_s_completed}, io_vars,
-                                local.img)
-                .image(mgr.one());
+        bdd hidden;
+        {
+            const transition_relation product_rel(mgr, {to_f, to_s_completed},
+                                                  io_vars, local.img);
+            hidden = product_rel.image(mgr.one());
+            detail::accumulate_stats(stats, product_rel);
+        }
 
         // ---- traditional subset construction ---------------------------------
         std::vector<std::uint32_t> uv_vars = problem.u_vars;
@@ -158,11 +172,17 @@ solve_result solve_monolithic(const equation_problem& problem,
         result.seconds = std::chrono::duration<double>(
                              std::chrono::steady_clock::now() - start)
                              .count();
+        detail::accumulate_stats(stats, step_rel);
+        result.stats = stats;
+        result.stats.live_nodes_after = mgr.live_node_count();
         return result;
     } catch (const relation_deadline_exceeded&) {
         // a relation build or image chain outlived the time limit before the
-        // driver could notice (the driver handles its own expansions)
-        return detail::timeout_result(start);
+        // driver could notice (the driver handles its own expansions); the
+        // relation counters died with the unwound relations
+        solve_result result = detail::timeout_result(start);
+        result.stats.live_nodes_after = mgr.live_node_count();
+        return result;
     }
 }
 

@@ -89,7 +89,7 @@ solve_result solve_partitioned(const equation_problem& problem,
         const std::uint32_t boundary = problem.uv_boundary_level();
         const bdd ns_cube = mgr.cube(problem.all_ns_vars());
 
-        return driver.run(
+        solve_result result = driver.run(
             problem.initial_product_state(), [&](const bdd& psi) {
                 // Q_psi: (u,v) combinations on which some member state can
                 // produce a non-conforming output for some external input i
@@ -108,10 +108,19 @@ solve_result solve_partitioned(const equation_problem& problem,
                 exp.to_dca = (!q) & (!domain);
                 return exp;
             });
+        detail::accumulate_stats(result.stats, p_rel);
+        for (const transition_relation& rel : q_rels) {
+            detail::accumulate_stats(result.stats, rel);
+        }
+        result.stats.live_nodes_after = mgr.live_node_count();
+        return result;
     } catch (const relation_deadline_exceeded&) {
         // relation construction (clustering) outlived the time limit before
-        // the driver could notice (the driver handles its own expansions)
-        return detail::timeout_result(start);
+        // the driver could notice (the driver handles its own expansions);
+        // the relation counters died with the unwound relations
+        solve_result result = detail::timeout_result(start);
+        result.stats.live_nodes_after = mgr.live_node_count();
+        return result;
     }
 }
 

@@ -15,6 +15,15 @@
 ///    hide i/o by quantification, then determinize traditionally.
 ///  * solve_explicit — Algorithm 1 executed literally on explicit automata;
 ///    the cross-validation oracle for small instances.
+///
+/// Ownership and thread-safety: a solve runs entirely inside the
+/// `equation_problem`'s BDD manager, and the returned CSF automaton holds
+/// handles into that manager — keep the problem alive as long as the result.
+/// Neither `bdd_manager` nor anything built on it is thread-safe; concurrent
+/// solves require one manager (i.e. one `equation_problem`) per thread,
+/// shared-nothing, which is exactly how the `leq batch` campaign mode runs
+/// (src/cli/batch.cpp).  Distinct problems on distinct threads never share
+/// state.
 #pragma once
 
 #include "automata/automaton.hpp"
@@ -36,7 +45,8 @@ struct solve_options {
     /// Wall-clock limit; 0 = unlimited.  Checked between subset expansions
     /// by the driver, and additionally armed as a relation-layer deadline
     /// (`image_options::deadline`) so image chains *inside* one expansion
-    /// cannot blow past the limit.
+    /// cannot blow past the limit.  A timed-out solve returns
+    /// `solve_status::timeout` with no CSF; it never throws.
     double time_limit_seconds = 0.0;
     /// Cap on explored subset states; 0 = unlimited.
     std::size_t max_subset_states = 0;
@@ -45,6 +55,27 @@ struct solve_options {
     /// the monolithic flow, where such subsets are representable; switching
     /// it off is the Ablation-A baseline.
     bool trim_nonconforming = true;
+};
+
+/// Aggregate statistics of one solve, read off the transition relations the
+/// flow built and the BDD manager it ran in.  Filled by the symbolic flows
+/// (`solve_partitioned` / `solve_monolithic`); the explicit oracle reports
+/// zeros except `live_nodes_after`.  On a driver-detected timeout the
+/// counters cover the work done up to the deadline; a deadline tripped
+/// inside relation construction reports zero relation counters (the
+/// relations unwound), with only `live_nodes_after` still measured.
+struct solve_stats {
+    std::size_t relations = 0;      ///< transition relations constructed
+    std::size_t relation_parts = 0; ///< partition parts across all relations
+    std::size_t clusters = 0;       ///< scheduled clusters across relations
+    std::size_t images = 0;         ///< image() calls served
+    std::size_t preimages = 0;      ///< preimage() calls served
+    /// Largest partial product seen in any chain (DAG nodes).  Only tracked
+    /// when `image_options::collect_stats` is set — it costs one DAG
+    /// traversal per chain step.
+    std::size_t peak_intermediate = 0;
+    /// Live BDD nodes in the problem's manager when the solve returned.
+    std::size_t live_nodes_after = 0;
 };
 
 struct solve_result {
@@ -56,6 +87,7 @@ struct solve_result {
     std::size_t subset_states_explored = 0; ///< before progressive trimming
     std::size_t csf_states = 0;             ///< final states (incl. DCA)
     double seconds = 0.0;
+    solve_stats stats;
 };
 
 /// Partitioned flow (the paper's method).

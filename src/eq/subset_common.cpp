@@ -3,6 +3,7 @@
 
 #include "eq/subset_common.hpp"
 
+#include <algorithm>
 #include <deque>
 #include <queue>
 
@@ -26,6 +27,17 @@ solve_result timeout_result(std::chrono::steady_clock::time_point start) {
                          std::chrono::steady_clock::now() - start)
                          .count();
     return result;
+}
+
+void accumulate_stats(solve_stats& stats, const transition_relation& rel) {
+    const relation_stats& r = rel.stats();
+    stats.relations += 1;
+    stats.relation_parts += rel.num_parts();
+    stats.clusters += rel.num_clusters();
+    stats.images += r.images;
+    stats.preimages += r.preimages;
+    stats.peak_intermediate =
+        std::max(stats.peak_intermediate, r.peak_intermediate);
 }
 
 std::vector<cofactor_class> split_by_top_block(bdd_manager& mgr, const bdd& p,

@@ -28,6 +28,10 @@ namespace leq::detail {
 [[nodiscard]] solve_result
 timeout_result(std::chrono::steady_clock::time_point start);
 
+/// Fold one relation's shape and counters into a solve's aggregate stats
+/// (both flows call this once per transition relation they built).
+void accumulate_stats(solve_stats& stats, const transition_relation& rel);
+
 /// One (u,v)-cofactor class of an image P(u,v,ns): the set of (u,v)
 /// assignments (guard) that lead to the same successor state set (leaf, over
 /// the ns variables).

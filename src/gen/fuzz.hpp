@@ -7,6 +7,16 @@
 /// flows with the differential oracle, and on failure shrink the instance
 /// and package a reproducer.  The report is data, not an exit code, so the
 /// test suite can drive campaigns in-process.
+///
+/// Ownership and thread-safety: `run_fuzz` is self-contained — every
+/// scenario builds (and destroys) its own equation problem and BDD
+/// manager, and the returned report is plain data.  A single call runs on
+/// the calling thread; concurrent campaigns are fine as long as each call
+/// gets its own `fuzz_options` (the usual one-manager-per-thread rule,
+/// upheld here because nothing manager-backed crosses the call boundary).
+/// `diff.time_limit_seconds` bounds each solver invocation via the
+/// relation-layer deadline; a scenario that exceeds it is reported as a
+/// finding, not a hang.
 #pragma once
 
 #include "gen/differential.hpp"

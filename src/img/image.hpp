@@ -16,7 +16,10 @@
 /// variable as soon as the remaining clusters no longer mention it.  A naive
 /// mode (conjoin everything, then quantify) is kept for the ablation
 /// benchmark.  `image_options` / `reach_strategy` are defined by the
-/// relation layer and re-exported here.
+/// relation layer and re-exported here; see rel/relation.hpp for the full
+/// option semantics (deadline behavior included) and the
+/// one-manager-per-thread confinement rule, which applies to the engine
+/// and the fixpoints below unchanged.
 #pragma once
 
 #include "rel/relation.hpp"

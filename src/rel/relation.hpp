@@ -10,6 +10,15 @@
 /// with per-call statistics.  Every relation consumer — the image engine,
 /// both solver flows, verification and diagnosis — routes its conjunction
 /// chains through this layer instead of hand-rolling and_exists loops.
+///
+/// Ownership and thread-safety: a `transition_relation` borrows the
+/// manager passed at construction and holds BDD handles into it — the
+/// manager must outlive the relation.  Like the manager itself, a relation
+/// is confined to one thread: `image()`/`preimage()` mutate the manager's
+/// computed cache and the relation's own statistics (and `preimage()`
+/// builds its schedule lazily), so concurrent use requires one manager and
+/// one relation per thread, shared-nothing (see eq/solver.hpp and the
+/// `leq batch` campaign runner).
 #pragma once
 
 #include "rel/cluster.hpp"
@@ -62,10 +71,14 @@ struct image_options {
     /// Exploration/scheduling strategy for reachability fixpoints and the
     /// relation layer's cluster order.
     reach_strategy strategy = reach_strategy::frontier;
-    /// Optional absolute deadline.  Image/preimage chains and reachability
-    /// fixpoints throw `relation_deadline_exceeded` once it passes; the
-    /// solvers set it from `solve_options::time_limit_seconds` so a deep
-    /// fixpoint can no longer blow past the solver timeout.
+    /// Optional absolute deadline.  Image/preimage chains, cluster merging
+    /// at construction, and reachability fixpoints throw
+    /// `relation_deadline_exceeded` once it passes; the solvers set it from
+    /// `solve_options::time_limit_seconds` (translating the throw into
+    /// `solve_status::timeout`) so a deep fixpoint can no longer blow past
+    /// the solver timeout.  The check runs *between* BDD operations — a
+    /// single huge conjunction can still overshoot the deadline by the
+    /// length of that one operation.
     relation_deadline deadline;
     /// Also track `relation_stats::peak_intermediate` (costs one DAG
     /// traversal per chain step; off on the hot path by default).

@@ -1,0 +1,12 @@
+/// \file leq.cpp
+/// \brief The `leq` end-user CLI: solve / verify / diagnose / reduce /
+/// batch over BLIF/KISS equation pairs.  All logic lives in src/cli/ so the
+/// test suite can drive it in-process; this is just the process boundary.
+
+#include "cli/cli.hpp"
+
+#include <iostream>
+
+int main(int argc, char** argv) {
+    return leq::run_leq_cli({argv + 1, argv + argc}, std::cout, std::cerr);
+}
