@@ -6,7 +6,61 @@
 #include <cassert>
 #include <stdexcept>
 
+#ifdef LEQ_CHECKED
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#endif
+
 namespace leq {
+
+// ---------------------------------------------------------------------------
+// checked-build provenance (LEQ_CHECKED)
+// ---------------------------------------------------------------------------
+
+#ifdef LEQ_CHECKED
+
+namespace {
+
+// construction order across the whole process; the counter (not the
+// managers) is the only shared state, so it is the one atomic here
+std::atomic<std::uint64_t> checked_next_serial{0};
+
+[[noreturn]] void checked_abort(const std::string& diagnostic) {
+    std::fprintf(stderr, "%s\n", diagnostic.c_str());
+    std::fflush(stderr);
+    std::abort();
+}
+
+} // namespace
+
+void bdd_manager::checked_thread_guard(const char* operation) const {
+    if (std::this_thread::get_id() == checked_owner_) { return; }
+    std::ostringstream os;
+    os << "leq checked build: off-thread bdd_manager call: operation '"
+       << operation << "' on manager #" << checked_serial_
+       << " (owner thread " << checked_owner_ << ", calling thread "
+       << std::this_thread::get_id()
+       << "); a bdd_manager belongs to exactly one thread from construction "
+          "to destruction (docs/ARCHITECTURE.md, Concurrency model)";
+    checked_abort(os.str());
+}
+
+void bdd_manager::checked_handle_guard(const char* operation,
+                                       const bdd& handle) const {
+    if (handle.mgr_ == nullptr || handle.mgr_ == this) { return; }
+    std::ostringstream os;
+    os << "leq checked build: cross-manager bdd handle: operation '"
+       << operation << "' on manager #" << checked_serial_
+       << " received a handle owned by manager #"
+       << handle.mgr_->checked_serial_
+       << "; handles must never cross bdd_manager instances — a foreign "
+          "reference indexes the wrong arena and corrupts the unique table";
+    checked_abort(os.str());
+}
+
+#endif // LEQ_CHECKED
 
 // ---------------------------------------------------------------------------
 // bdd handle
@@ -93,6 +147,10 @@ bdd bdd::low() const {
 // ---------------------------------------------------------------------------
 
 bdd_manager::bdd_manager(std::uint32_t num_vars, unsigned cache_bits) {
+#ifdef LEQ_CHECKED
+    checked_serial_ = ++checked_next_serial;
+    checked_owner_ = std::this_thread::get_id();
+#endif
     nodes_.reserve(1u << 12);
     // node 0: the single terminal, denoting FALSE as a regular reference
     // (reference 0 = FALSE, reference 1 = TRUE)
@@ -107,6 +165,7 @@ bdd_manager::bdd_manager(std::uint32_t num_vars, unsigned cache_bits) {
 bdd_manager::~bdd_manager() = default;
 
 std::uint32_t bdd_manager::new_var() {
+    checked_guard("new_var");
     const auto v = static_cast<std::uint32_t>(var2level_.size());
     var2level_.push_back(v);
     level2var_.push_back(v);
@@ -115,11 +174,13 @@ std::uint32_t bdd_manager::new_var() {
 }
 
 bdd bdd_manager::var(std::uint32_t v) {
+    checked_guard("var");
     assert(v < num_vars());
     return make(mk(v, 0, 1));
 }
 
 bdd bdd_manager::nvar(std::uint32_t v) {
+    checked_guard("nvar");
     assert(v < num_vars());
     return make(mk(v, 1, 0));
 }
@@ -191,9 +252,15 @@ void bdd_manager::rehash(std::size_t new_size) {
 // external references and garbage collection
 // ---------------------------------------------------------------------------
 
-void bdd_manager::inc_ext_ref(std::uint32_t ref) { ++ext_ref_[node_of(ref)]; }
+void bdd_manager::inc_ext_ref(std::uint32_t ref) {
+    // handle copies count as manager calls too: catching an off-thread
+    // handle copy/destroy is the point of the owner-thread rule
+    checked_thread_guard("bdd handle copy");
+    ++ext_ref_[node_of(ref)];
+}
 
 void bdd_manager::dec_ext_ref(std::uint32_t ref) {
+    checked_thread_guard("bdd handle release");
     assert(ext_ref_[node_of(ref)] > 0);
     --ext_ref_[node_of(ref)];
 }
@@ -209,6 +276,7 @@ void bdd_manager::maybe_gc_or_grow() {
 }
 
 void bdd_manager::collect_garbage() {
+    checked_guard("collect_garbage");
     ++stats_.gc_runs;
     mark_.assign(nodes_.size(), 0);
     mark_[0] = 1;
@@ -248,6 +316,7 @@ void bdd_manager::collect_garbage() {
 }
 
 std::size_t bdd_manager::live_node_count() {
+    checked_guard("live_node_count");
     collect_garbage();
     return stats_.live_nodes;
 }

@@ -45,6 +45,15 @@
 ///    benchmarks and standalone use.  Reordering rewrites node *contents*
 ///    in place, preserving the regular-then-edge invariant, so indices — and
 ///    therefore all outstanding handles — stay valid.
+///  * **Checked builds (-DLEQ_CHECKED=ON).**  The manager is single-threaded
+///    by design, and handles must never cross managers — a foreign reference
+///    indexes the wrong arena and silently corrupts the unique table.  In a
+///    checked build every public operation verifies both preconditions:
+///    each manager records a process-wide serial number and the id of the
+///    thread that constructed it, and each `bdd` handle already carries its
+///    manager; a cross-manager handle or an off-thread call aborts with a
+///    diagnostic naming the operation and both parties.  The guards compile
+///    to nothing in normal builds.
 #pragma once
 
 #include <cstdint>
@@ -53,6 +62,10 @@
 #include <unordered_map>
 #include <utility>
 #include <vector>
+
+#ifdef LEQ_CHECKED
+#include <thread>
+#endif
 
 namespace leq {
 
@@ -291,6 +304,14 @@ public:
     [[nodiscard]] const bdd_stats& stats() const { return stats_; }
     [[nodiscard]] std::size_t live_node_count();
 
+#ifdef LEQ_CHECKED
+    /// Checked build only: process-wide serial of this manager (1-based,
+    /// construction order) — names managers in violation diagnostics.
+    [[nodiscard]] std::uint64_t checked_serial() const {
+        return checked_serial_;
+    }
+#endif
+
     /// Render f as a sum-of-cubes string over the given variable names
     /// (diagnostics; exponential in the worst case).
     [[nodiscard]] std::string to_string(const bdd& f,
@@ -298,6 +319,31 @@ public:
 
 private:
     friend class bdd;
+
+    // ---- checked-build provenance guards (LEQ_CHECKED) -------------------
+    // The one-manager-per-thread rule and the no-cross-manager-handles rule
+    // are the two preconditions every future parallel-image design leans on
+    // (docs/ARCHITECTURE.md "Concurrency model").  Checked builds turn both
+    // from prose into executable aborts; normal builds compile the guards
+    // to nothing.  Every public entry point calls checked_guard() first.
+#ifdef LEQ_CHECKED
+    void checked_thread_guard(const char* operation) const;
+    void checked_handle_guard(const char* operation, const bdd& handle) const;
+#else
+    void checked_thread_guard(const char*) const {}
+    void checked_handle_guard(const char*, const bdd&) const {}
+#endif
+    template <typename... Handles>
+    void checked_guard(const char* operation,
+                       const Handles&... handles) const {
+        checked_thread_guard(operation);
+        (checked_handle_guard(operation, handles), ...);
+    }
+    void checked_guard(const char* operation,
+                       const std::vector<bdd>& handles) const {
+        checked_thread_guard(operation);
+        for (const bdd& h : handles) { checked_handle_guard(operation, h); }
+    }
 
     /// Arena node.  `lo`/`hi` are tagged references; the canonical-form
     /// invariant keeps `hi` regular (complement bit clear) for every node
@@ -469,6 +515,11 @@ private:
     std::vector<std::uint32_t> rc_;                    ///< internal ref counts
     std::vector<std::vector<std::uint32_t>> var_nodes_;///< nodes per variable
     std::size_t alive_ = 0;                            ///< rc_-tracked live count
+
+#ifdef LEQ_CHECKED
+    std::uint64_t checked_serial_ = 0;  ///< process-wide construction serial
+    std::thread::id checked_owner_;     ///< the one thread allowed to call in
+#endif
 };
 
 } // namespace leq

@@ -31,30 +31,35 @@ inline void canonize(std::uint32_t& f, std::uint32_t& g) {
 // ---------------------------------------------------------------------------
 
 bdd bdd_manager::apply_and(const bdd& f, const bdd& g) {
+    checked_guard("apply_and", f, g);
     assert(f.manager() == this && g.manager() == this);
     maybe_gc_or_grow();
     return make(and_rec(f.index(), g.index()));
 }
 
 bdd bdd_manager::apply_or(const bdd& f, const bdd& g) {
+    checked_guard("apply_or", f, g);
     assert(f.manager() == this && g.manager() == this);
     maybe_gc_or_grow();
     return make(or_rec(f.index(), g.index()));
 }
 
 bdd bdd_manager::apply_xor(const bdd& f, const bdd& g) {
+    checked_guard("apply_xor", f, g);
     assert(f.manager() == this && g.manager() == this);
     maybe_gc_or_grow();
     return make(xor_rec(f.index(), g.index()));
 }
 
 bdd bdd_manager::apply_not(const bdd& f) {
+    checked_guard("apply_not", f);
     assert(f.manager() == this);
     // complement edges: negation is a bit flip — no GC, no cache, no nodes
     return make(f.index() ^ 1u);
 }
 
 bdd bdd_manager::ite(const bdd& f, const bdd& g, const bdd& h) {
+    checked_guard("ite", f, g, h);
     assert(f.manager() == this && g.manager() == this && h.manager() == this);
     maybe_gc_or_grow();
     return make(ite_rec(f.index(), g.index(), h.index()));

@@ -16,18 +16,21 @@
 namespace leq {
 
 bdd bdd_manager::exists(const bdd& f, const bdd& cube) {
+    checked_guard("exists", f, cube);
     assert(f.manager() == this && cube.manager() == this);
     maybe_gc_or_grow();
     return make(exists_rec(f.index(), cube.index()));
 }
 
 bdd bdd_manager::forall(const bdd& f, const bdd& cube) {
+    checked_guard("forall", f, cube);
     assert(f.manager() == this && cube.manager() == this);
     maybe_gc_or_grow();
     return make(exists_rec(f.index() ^ 1u, cube.index()) ^ 1u);
 }
 
 bdd bdd_manager::and_exists(const bdd& f, const bdd& g, const bdd& cube) {
+    checked_guard("and_exists", f, g, cube);
     assert(f.manager() == this && g.manager() == this &&
            cube.manager() == this);
     maybe_gc_or_grow();
@@ -36,6 +39,8 @@ bdd bdd_manager::and_exists(const bdd& f, const bdd& g, const bdd& cube) {
 
 bdd bdd_manager::and_exists(const std::vector<bdd>& operands,
                             const bdd& cube) {
+    checked_guard("and_exists", operands);
+    checked_guard("and_exists", cube);
     assert(cube.manager() == this);
     maybe_gc_or_grow();
     std::vector<std::uint32_t> ops;

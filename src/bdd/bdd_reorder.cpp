@@ -222,6 +222,7 @@ void bdd_manager::sift_core(std::uint32_t var, double max_growth) {
 }
 
 std::size_t bdd_manager::reorder_sift(double max_growth) {
+    checked_guard("reorder_sift");
     reorder_begin();
     // sift variables in decreasing order of node count (Rudell's heuristic)
     std::vector<std::uint32_t> vars(num_vars());
@@ -240,6 +241,7 @@ std::size_t bdd_manager::reorder_sift(double max_growth) {
 }
 
 std::size_t bdd_manager::sift_one(std::uint32_t var, double max_growth) {
+    checked_guard("sift_one");
     assert(var < num_vars());
     reorder_begin();
     sift_core(var, max_growth);
@@ -248,6 +250,7 @@ std::size_t bdd_manager::sift_one(std::uint32_t var, double max_growth) {
 }
 
 void bdd_manager::reorder_to(const std::vector<std::uint32_t>& order) {
+    checked_guard("reorder_to");
     if (order.size() != num_vars()) {
         throw std::invalid_argument("reorder_to: order size mismatch");
     }
@@ -275,6 +278,7 @@ void bdd_manager::reorder_to(const std::vector<std::uint32_t>& order) {
 
 std::size_t bdd_manager::reorder_sift_groups(
     const std::vector<std::vector<std::uint32_t>>& groups, double max_growth) {
+    checked_guard("reorder_sift_groups");
     // validate: a partition of all variables
     std::vector<char> seen(num_vars(), 0);
     std::size_t covered = 0;
@@ -426,6 +430,7 @@ std::size_t bdd_manager::reorder_sift_groups(
 // ---------------------------------------------------------------------------
 
 void bdd_manager::check_consistency() const {
+    checked_guard("check_consistency");
     std::set<std::array<std::uint32_t, 3>> keys;
     std::vector<char> in_table(nodes_.size(), 0);
     for (const std::uint32_t head : buckets_) {

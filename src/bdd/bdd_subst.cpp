@@ -14,6 +14,7 @@
 namespace leq {
 
 bdd bdd_manager::permute(const bdd& f, const std::vector<std::uint32_t>& perm) {
+    checked_guard("permute", f);
     assert(f.manager() == this);
     maybe_gc_or_grow();
     std::vector<std::uint32_t> memo(nodes_.size(), idx_nil);
@@ -40,6 +41,7 @@ std::uint32_t bdd_manager::permute_rec(std::uint32_t f,
 }
 
 bdd bdd_manager::compose(const bdd& f, std::uint32_t v, const bdd& g) {
+    checked_guard("compose", f, g);
     assert(f.manager() == this && g.manager() == this);
     maybe_gc_or_grow();
     std::vector<std::uint32_t> memo(nodes_.size(), idx_nil);
@@ -71,11 +73,13 @@ std::uint32_t bdd_manager::compose_rec(std::uint32_t f, std::uint32_t v,
 bdd bdd_manager::compose_vector(
     const bdd& f,
     const std::vector<std::pair<std::uint32_t, bdd>>& substitutions) {
+    checked_guard("compose_vector", f);
     assert(f.manager() == this);
     maybe_gc_or_grow();
     std::vector<std::uint32_t> sub(num_vars(), idx_nil);
     std::uint32_t deepest = 0;
     for (const auto& [v, g] : substitutions) {
+        checked_handle_guard("compose_vector", g);
         assert(g.manager() == this);
         assert(v < num_vars());
         sub[v] = g.index();
@@ -105,6 +109,7 @@ std::uint32_t bdd_manager::compose_vec_rec(
 }
 
 bdd bdd_manager::cofactor(const bdd& f, const bdd& cube) {
+    checked_guard("cofactor", f, cube);
     assert(f.manager() == this && cube.manager() == this);
     maybe_gc_or_grow();
     const std::uint32_t c = cube.index();
@@ -149,6 +154,7 @@ bdd bdd_manager::cofactor(const bdd& f, const bdd& cube) {
 namespace leq {
 
 bdd bdd_manager::constrain(const bdd& f, const bdd& c) {
+    checked_guard("constrain", f, c);
     assert(f.manager() == this && c.manager() == this);
     assert(!c.is_zero() && "constrain: empty care set");
     maybe_gc_or_grow();
@@ -199,6 +205,7 @@ std::uint32_t bdd_manager::constrain_rec(std::uint32_t f, std::uint32_t c) {
 }
 
 bdd bdd_manager::restrict_dc(const bdd& f, const bdd& c) {
+    checked_guard("restrict_dc", f, c);
     assert(f.manager() == this && c.manager() == this);
     assert(!c.is_zero() && "restrict: empty care set");
     maybe_gc_or_grow();

@@ -18,6 +18,7 @@
 namespace leq {
 
 void bdd_manager::set_var_order(const std::vector<std::uint32_t>& order) {
+    checked_guard("set_var_order");
     if (order.size() != var2level_.size()) {
         throw std::invalid_argument("set_var_order: wrong permutation size");
     }
@@ -45,6 +46,7 @@ void bdd_manager::set_var_order(const std::vector<std::uint32_t>& order) {
 }
 
 bdd bdd_manager::support_cube(const bdd& f) {
+    checked_guard("support_cube", f);
     assert(f.manager() == this);
     maybe_gc_or_grow();
     return make(support_rec(f.index()));
@@ -64,6 +66,7 @@ std::uint32_t bdd_manager::support_rec(std::uint32_t f) {
 }
 
 std::vector<std::uint32_t> bdd_manager::support(const bdd& f) {
+    checked_guard("support", f);
     std::vector<std::uint32_t> vars;
     for (bdd c = support_cube(f); !c.is_const(); c = c.high()) {
         vars.push_back(c.top_var());
@@ -72,6 +75,7 @@ std::vector<std::uint32_t> bdd_manager::support(const bdd& f) {
 }
 
 std::size_t bdd_manager::dag_size(const bdd& f) {
+    checked_guard("dag_size", f);
     assert(f.manager() == this);
     std::unordered_set<std::uint32_t> seen; // node indices
     std::vector<std::uint32_t> stack{node_of(f.index())};
@@ -86,6 +90,7 @@ std::size_t bdd_manager::dag_size(const bdd& f) {
 }
 
 double bdd_manager::sat_count(const bdd& f, std::uint32_t nvars) {
+    checked_guard("sat_count", f);
     assert(f.manager() == this);
     // fraction-style recursion: density(f) = fraction of assignments mapped
     // to 1; the count is density * 2^nvars.  Memoized per node; a
@@ -110,6 +115,7 @@ double bdd_manager::sat_count(const bdd& f, std::uint32_t nvars) {
 }
 
 bool bdd_manager::eval(const bdd& f, const std::vector<bool>& assignment) {
+    checked_guard("eval", f);
     assert(f.manager() == this);
     std::uint32_t r = f.index();
     while (r > 1) {
@@ -121,6 +127,7 @@ bool bdd_manager::eval(const bdd& f, const std::vector<bool>& assignment) {
 }
 
 bdd bdd_manager::pick_cube(const bdd& f) {
+    checked_guard("pick_cube", f);
     assert(f.manager() == this && !f.is_zero());
     maybe_gc_or_grow();
     // walk down preferring the else-branch, collecting literals
@@ -149,6 +156,7 @@ bdd bdd_manager::pick_cube(const bdd& f) {
 void bdd_manager::foreach_cube(
     const bdd& f, const std::vector<std::uint32_t>& vars,
     const std::function<void(const std::vector<int>&)>& fn) {
+    checked_guard("foreach_cube", f);
     assert(f.manager() == this);
     // variables sorted by level so the walk matches the BDD order
     std::vector<std::uint32_t> sorted = vars;
@@ -189,6 +197,7 @@ void bdd_manager::foreach_cube(
 }
 
 bdd bdd_manager::cube(const std::vector<std::uint32_t>& vars) {
+    checked_guard("cube");
     maybe_gc_or_grow();
     std::vector<std::uint32_t> sorted = vars;
     std::sort(sorted.begin(), sorted.end(),
@@ -202,6 +211,7 @@ bdd bdd_manager::cube(const std::vector<std::uint32_t>& vars) {
 
 std::string bdd_manager::to_string(const bdd& f,
                                    const std::vector<std::string>& names) {
+    checked_guard("to_string", f);
     if (f.is_zero()) { return "0"; }
     if (f.is_one()) { return "1"; }
     const std::vector<std::uint32_t> vars = support(f);

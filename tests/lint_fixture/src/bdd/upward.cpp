@@ -1,0 +1,8 @@
+// Seeded violation: bdd/ reaching up into rel/ inverts the layer DAG
+// (the fixture config only sanctions rel -> bdd).
+#include "rel/relation.hpp"
+
+// A commented-out include must NOT be reported:
+// #include "eq/solver.hpp"
+
+int fixture_upward() { return 0; }

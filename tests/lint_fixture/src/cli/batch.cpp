@@ -1,0 +1,13 @@
+// Clean file: the fixture config sanctions concurrency here ('allow
+// concurrency src/cli/batch.cpp'), so neither the header nor the tokens
+// may be reported.
+#include <atomic>
+#include <thread>
+
+namespace fixture {
+
+std::atomic<int> counter{0};
+
+void spin() { std::thread([] { counter.fetch_add(1); }).join(); }
+
+} // namespace fixture

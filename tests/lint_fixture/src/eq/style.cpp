@@ -1,0 +1,4 @@
+// Seeded violation: a project include that is not layer-qualified.
+#include "solver.hpp"
+
+int fixture_style() { return 2; }

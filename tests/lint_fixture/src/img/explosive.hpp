@@ -1,0 +1,18 @@
+// Seeded violations: header without #pragma once, a throwing destructor,
+// and a header-scope using-namespace.
+
+using namespace std;
+
+namespace fixture {
+
+struct explosive {
+    bool armed = false;
+    ~explosive() {
+        if (armed) { throw 42; }
+    }
+    // a bitwise NOT that looks destructor-ish must NOT be reported:
+    unsigned mask() const { return ~value(); }
+    unsigned value() const { return 7; }
+};
+
+} // namespace fixture

@@ -1,0 +1,13 @@
+// Seeded violations: a concurrency header and a concurrency token outside
+// the sanctioned seam (only src/cli/batch.cpp is allowed).
+#include <mutex>
+
+namespace fixture {
+
+struct pool {
+    std::mutex guard;
+    // mentioning std::thread in a comment must NOT be reported
+    const char* label = "std::condition_variable in a string: not reported";
+};
+
+} // namespace fixture

@@ -1,0 +1,5 @@
+// Clean file: rel -> bdd is a sanctioned edge in the fixture config, so
+// this must produce no violations.
+#include "bdd/bdd.hpp"
+
+int fixture_ok() { return 1; }

@@ -1,0 +1,177 @@
+/// \file test_lint.cpp
+/// \brief `leq_lint` self-test: the seeded-violation fixture must be fully
+/// reported, and the real tree must be clean against the checked-in config.
+///
+/// The suite links the analyzer core (tools/lint_core.cpp) directly, so the
+/// checks run in-process; CI additionally runs the `leq_lint` binary.
+
+#include "lint_core.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace {
+
+using leq_lint::lint_config;
+using leq_lint::lint_report;
+using leq_lint::violation;
+
+const char* const kRepoRoot = LEQ_SOURCE_DIR;
+const std::string kFixtureRoot =
+    std::string(LEQ_SOURCE_DIR) + "/tests/lint_fixture";
+
+lint_config load_config_or_die(const std::string& path) {
+    std::vector<std::string> errors;
+    lint_config config = leq_lint::load_config(path, errors);
+    EXPECT_TRUE(errors.empty()) << "config errors in " << path;
+    return config;
+}
+
+std::set<std::pair<std::string, std::string>> file_rule_pairs(
+    const lint_report& report) {
+    std::set<std::pair<std::string, std::string>> pairs;
+    for (const violation& v : report.violations) {
+        pairs.emplace(v.file, v.rule);
+    }
+    return pairs;
+}
+
+// ---------------------------------------------------------------------------
+// the seeded-violation fixture
+// ---------------------------------------------------------------------------
+
+TEST(lint_fixture, reports_exactly_the_seeded_violations) {
+    const lint_config config = load_config_or_die(kFixtureRoot + "/.leq_lint");
+    const lint_report report = leq_lint::lint_tree(kFixtureRoot, config);
+
+    const std::set<std::pair<std::string, std::string>> expected = {
+        {"src/bdd/upward.cpp", "layering"},
+        {"src/net/pool.cpp", "concurrency"},
+        {"src/img/explosive.hpp", "pragma-once"},
+        {"src/img/explosive.hpp", "using-namespace"},
+        {"src/img/explosive.hpp", "dtor-throw"},
+        {"src/eq/style.cpp", "include-style"},
+    };
+    EXPECT_EQ(file_rule_pairs(report), expected);
+
+    // pool.cpp seeds two concurrency sites: the <mutex> include and the
+    // std::mutex member — both lines must be flagged
+    const auto concurrency_hits = std::count_if(
+        report.violations.begin(), report.violations.end(),
+        [](const violation& v) { return v.rule == "concurrency"; });
+    EXPECT_EQ(concurrency_hits, 2);
+    EXPECT_EQ(report.violations.size(), 7u);
+
+    // the sanctioned seam and the clean file must not appear at all
+    for (const violation& v : report.violations) {
+        EXPECT_NE(v.file, "src/cli/batch.cpp") << v.message;
+        EXPECT_NE(v.file, "src/rel/ok.cpp") << v.message;
+    }
+}
+
+TEST(lint_fixture, violations_carry_locations_and_survive_json) {
+    const lint_config config = load_config_or_die(kFixtureRoot + "/.leq_lint");
+    const lint_report report = leq_lint::lint_tree(kFixtureRoot, config);
+    for (const violation& v : report.violations) {
+        EXPECT_GE(v.line, 1) << v.file << ": " << v.message;
+        EXPECT_FALSE(v.message.empty());
+    }
+    const std::string json = leq_lint::to_json(report);
+    EXPECT_NE(json.find("\"violation_count\":7"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"rule\":\"layering\""), std::string::npos);
+    EXPECT_NE(json.find("\"file\":\"src/bdd/upward.cpp\""),
+              std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// the real tree: lint must run clean against the checked-in .leq_lint
+// ---------------------------------------------------------------------------
+
+TEST(lint_tree, repository_is_clean) {
+    const lint_config config =
+        load_config_or_die(std::string(kRepoRoot) + "/.leq_lint");
+    const lint_report report = leq_lint::lint_tree(kRepoRoot, config);
+    for (const violation& v : report.violations) {
+        ADD_FAILURE() << v.file << ":" << v.line << ": [" << v.rule << "] "
+                      << v.message;
+    }
+    // the walk must actually have covered the library
+    EXPECT_GT(report.files_scanned, 50u);
+}
+
+// ---------------------------------------------------------------------------
+// core units
+// ---------------------------------------------------------------------------
+
+TEST(lint_core, stripper_blanks_comments_and_strings_but_keeps_includes) {
+    const std::string in =
+        "#include \"bdd/bdd.hpp\"\n"
+        "// std::mutex in a comment\n"
+        "const char* s = \"std::mutex in a string\";\n"
+        "/* block std::thread\n   spanning lines */ int x;\n";
+    const std::string out = leq_lint::strip_comments_and_strings(in);
+    EXPECT_NE(out.find("bdd/bdd.hpp"), std::string::npos);
+    EXPECT_EQ(out.find("std::mutex"), std::string::npos);
+    EXPECT_EQ(out.find("std::thread"), std::string::npos);
+    EXPECT_NE(out.find("int x;"), std::string::npos);
+    // line structure is preserved for line numbering
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'),
+              std::count(in.begin(), in.end(), '\n'));
+}
+
+TEST(lint_core, digit_separators_are_not_char_literals) {
+    const std::string in = "const int big = 1'000'000; int y = 2;\n";
+    const std::string out = leq_lint::strip_comments_and_strings(in);
+    EXPECT_NE(out.find("int y = 2;"), std::string::npos);
+}
+
+TEST(lint_core, config_rejects_unknown_directives) {
+    std::vector<std::string> errors;
+    leq_lint::parse_config("layer-edge a b\nfrobnicate c\nallow r f\n",
+                           errors);
+    ASSERT_EQ(errors.size(), 1u);
+    EXPECT_NE(errors[0].find("frobnicate"), std::string::npos);
+}
+
+TEST(lint_core, config_edge_and_allow_semantics) {
+    std::vector<std::string> errors;
+    const lint_config config = leq_lint::parse_config(
+        "layer-edge root *\nlayer-edge rel bdd\nallow concurrency f.cpp\n",
+        errors);
+    ASSERT_TRUE(errors.empty());
+    EXPECT_TRUE(config.edge_allowed("rel", "bdd"));
+    EXPECT_FALSE(config.edge_allowed("bdd", "rel"));
+    EXPECT_TRUE(config.edge_allowed("root", "anything"));
+    EXPECT_TRUE(config.is_allowed("concurrency", "f.cpp"));
+    EXPECT_FALSE(config.is_allowed("concurrency", "g.cpp"));
+    EXPECT_FALSE(config.is_allowed("layering", "f.cpp"));
+}
+
+TEST(lint_core, missing_config_is_an_error) {
+    std::vector<std::string> errors;
+    leq_lint::load_config("/nonexistent/.leq_lint", errors);
+    EXPECT_FALSE(errors.empty());
+}
+
+TEST(lint_core, lint_file_flags_cross_layer_include) {
+    const std::vector<std::string> layers = {"bdd", "rel"};
+    std::vector<std::string> errors;
+    const lint_config config =
+        leq_lint::parse_config("layer-edge rel bdd\n", errors);
+    std::vector<violation> out;
+    leq_lint::lint_file("src/bdd/x.cpp", "#include \"rel/relation.hpp\"\n",
+                        layers, config, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].rule, "layering");
+    EXPECT_EQ(out[0].line, 1);
+    leq_lint::lint_file("src/rel/y.cpp", "#include \"bdd/bdd.hpp\"\n",
+                        layers, config, out);
+    EXPECT_EQ(out.size(), 1u); // the sanctioned direction adds nothing
+}
+
+} // namespace

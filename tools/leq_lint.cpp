@@ -1,0 +1,110 @@
+/// \file leq_lint.cpp
+/// \brief Project-invariant linter CLI (see lint_core.hpp for the rules).
+///
+/// Usage:
+///   leq_lint [--root DIR] [--config FILE] [--json FILE] [--quiet]
+///   leq_lint --list-rules
+///
+/// Scans DIR/src (default: the current directory) against the sanctioned
+/// layer DAG and per-rule exceptions in DIR/.leq_lint, prints one
+/// `file:line: [rule] message` line per violation, and exits nonzero when
+/// anything is flagged — CI runs exactly this.  `--json` additionally writes
+/// the machine-readable report.
+
+#include "lint_core.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace {
+
+constexpr const char* kRuleHelp =
+    "rules checked by leq_lint (exempt a file with 'allow RULE FILE' in "
+    ".leq_lint):\n"
+    "  layering        quoted includes between src/ layer directories must\n"
+    "                  follow the 'layer-edge FROM TO' DAG in .leq_lint\n"
+    "  concurrency     std::thread/mutex/atomic/... and their headers are\n"
+    "                  confined to files sanctioned by 'allow concurrency'\n"
+    "  dtor-throw      no 'throw' inside a destructor body\n"
+    "  pragma-once     every header carries '#pragma once'\n"
+    "  using-namespace no 'using namespace' at header scope\n"
+    "  include-style   project includes are layer-qualified\n"
+    "                  (\"bdd/bdd.hpp\", never \"bdd.hpp\")\n";
+
+int usage(const char* argv0) {
+    std::fprintf(stderr,
+                 "usage: %s [--root DIR] [--config FILE] [--json FILE] "
+                 "[--quiet]\n       %s --list-rules\n",
+                 argv0, argv0);
+    return 2;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    std::string root = ".";
+    std::string config_path;
+    std::string json_path;
+    bool quiet = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--list-rules") {
+            std::fputs(kRuleHelp, stdout);
+            return 0;
+        }
+        if (arg == "--quiet" || arg == "-q") {
+            quiet = true;
+        } else if (arg == "--root" && i + 1 < argc) {
+            root = argv[++i];
+        } else if (arg == "--config" && i + 1 < argc) {
+            config_path = argv[++i];
+        } else if (arg == "--json" && i + 1 < argc) {
+            json_path = argv[++i];
+        } else {
+            return usage(argv[0]);
+        }
+    }
+    if (config_path.empty()) { config_path = root + "/.leq_lint"; }
+
+    std::vector<std::string> config_errors;
+    const leq_lint::lint_config config =
+        leq_lint::load_config(config_path, config_errors);
+    if (!config_errors.empty()) {
+        for (const std::string& error : config_errors) {
+            std::fprintf(stderr, "leq_lint: %s\n", error.c_str());
+        }
+        return 2;
+    }
+
+    leq_lint::lint_report report;
+    try {
+        report = leq_lint::lint_tree(root, config);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "leq_lint: %s\n", e.what());
+        return 2;
+    }
+
+    if (!json_path.empty()) {
+        std::ofstream out(json_path);
+        if (!out) {
+            std::fprintf(stderr, "leq_lint: cannot write '%s'\n",
+                         json_path.c_str());
+            return 2;
+        }
+        out << leq_lint::to_json(report) << "\n";
+    }
+
+    for (const leq_lint::violation& v : report.violations) {
+        std::fprintf(stdout, "%s:%d: [%s] %s\n", v.file.c_str(), v.line,
+                     v.rule.c_str(), v.message.c_str());
+    }
+    if (!quiet) {
+        std::fprintf(stdout, "leq_lint: %zu violation(s) in %zu file(s)\n",
+                     report.violations.size(), report.files_scanned);
+    }
+    return report.violations.empty() ? 0 : 1;
+}

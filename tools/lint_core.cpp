@@ -1,0 +1,579 @@
+/// \file lint_core.cpp
+/// \brief Implementation of the `leq_lint` checks (see lint_core.hpp).
+
+#include "lint_core.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <tuple>
+
+namespace leq_lint {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// configuration
+// ---------------------------------------------------------------------------
+
+bool lint_config::edge_allowed(const std::string& from,
+                               const std::string& to) const {
+    for (const auto& [f, t] : layer_edges) {
+        if (f == from && (t == "*" || t == to)) { return true; }
+    }
+    return false;
+}
+
+bool lint_config::is_allowed(const std::string& rule,
+                             const std::string& file) const {
+    for (const auto& [r, f] : allows) {
+        if (r == rule && f == file) { return true; }
+    }
+    return false;
+}
+
+lint_config parse_config(const std::string& text,
+                         std::vector<std::string>& errors) {
+    lint_config config;
+    std::istringstream in(text);
+    std::string line;
+    int line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        const std::size_t hash = line.find('#');
+        if (hash != std::string::npos) { line.erase(hash); }
+        std::istringstream row(line);
+        std::string directive;
+        if (!(row >> directive)) { continue; } // blank / comment-only
+        std::string a, b, extra;
+        if (directive == "layer-edge") {
+            if (!(row >> a >> b) || (row >> extra)) {
+                errors.push_back(".leq_lint:" + std::to_string(line_no) +
+                                 ": expected 'layer-edge FROM TO'");
+                continue;
+            }
+            config.layer_edges.emplace_back(a, b);
+        } else if (directive == "allow") {
+            if (!(row >> a >> b) || (row >> extra)) {
+                errors.push_back(".leq_lint:" + std::to_string(line_no) +
+                                 ": expected 'allow RULE FILE'");
+                continue;
+            }
+            config.allows.emplace_back(a, b);
+        } else {
+            errors.push_back(".leq_lint:" + std::to_string(line_no) +
+                             ": unknown directive '" + directive + "'");
+        }
+    }
+    return config;
+}
+
+lint_config load_config(const std::string& path,
+                        std::vector<std::string>& errors) {
+    std::ifstream in(path);
+    if (!in) {
+        errors.push_back("cannot open lint config '" + path + "'");
+        return {};
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return parse_config(buffer.str(), errors);
+}
+
+// ---------------------------------------------------------------------------
+// lexical preprocessing
+// ---------------------------------------------------------------------------
+
+std::string strip_comments_and_strings(const std::string& text) {
+    std::string out = text;
+    enum class state { code, line_comment, block_comment, dquote, squote };
+    state s = state::code;
+    // preprocessor lines keep their string literals (#include "..." paths)
+    bool line_is_preproc = false;
+    bool line_started = false;
+    const std::size_t n = text.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        const char c = text[i];
+        const char next = i + 1 < n ? text[i + 1] : '\0';
+        if (c == '\n') {
+            if (s == state::line_comment) { s = state::code; }
+            // unterminated string literals do not cross lines in valid code
+            if (s == state::dquote || s == state::squote) { s = state::code; }
+            line_is_preproc = false;
+            line_started = false;
+            continue;
+        }
+        if (!line_started && !std::isspace(static_cast<unsigned char>(c))) {
+            line_started = true;
+            line_is_preproc = c == '#';
+        }
+        switch (s) {
+        case state::code:
+            if (c == '/' && next == '/') {
+                s = state::line_comment;
+                out[i] = ' ';
+            } else if (c == '/' && next == '*') {
+                s = state::block_comment;
+                out[i] = ' ';
+                out[i + 1] = ' ';
+                ++i;
+            } else if (c == '"') {
+                s = state::dquote;
+            } else if (c == '\'') {
+                // heuristically distinguish char literals from digit
+                // separators (1'000'000): a quote directly after an
+                // alphanumeric char inside a number is a separator
+                const char prev = i > 0 ? text[i - 1] : '\0';
+                if (!std::isalnum(static_cast<unsigned char>(prev))) {
+                    s = state::squote;
+                }
+            }
+            break;
+        case state::line_comment:
+            out[i] = ' ';
+            break;
+        case state::block_comment:
+            if (c == '*' && next == '/') {
+                out[i] = ' ';
+                out[i + 1] = ' ';
+                ++i;
+                s = state::code;
+            } else {
+                out[i] = ' ';
+            }
+            break;
+        case state::dquote:
+            if (c == '\\') {
+                if (!line_is_preproc) {
+                    out[i] = ' ';
+                    if (next != '\n') { out[i + 1] = ' '; }
+                }
+                ++i;
+            } else if (c == '"') {
+                s = state::code;
+            } else if (!line_is_preproc) {
+                out[i] = ' ';
+            }
+            break;
+        case state::squote:
+            if (c == '\\') {
+                out[i] = ' ';
+                if (next != '\n') { out[i + 1] = ' '; }
+                ++i;
+            } else if (c == '\'') {
+                s = state::code;
+            } else {
+                out[i] = ' ';
+            }
+            break;
+        }
+    }
+    return out;
+}
+
+namespace {
+
+bool is_ident_char(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Find whole-token occurrences of `token` in `line` (no identifier char on
+/// either side).
+bool contains_token(const std::string& line, const std::string& token) {
+    std::size_t pos = 0;
+    while ((pos = line.find(token, pos)) != std::string::npos) {
+        const bool left_ok = pos == 0 || !is_ident_char(line[pos - 1]);
+        const std::size_t end = pos + token.size();
+        const bool right_ok = end >= line.size() || !is_ident_char(line[end]);
+        if (left_ok && right_ok) { return true; }
+        pos = end;
+    }
+    return false;
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+    std::vector<std::string> lines;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        const std::size_t nl = text.find('\n', start);
+        if (nl == std::string::npos) {
+            lines.push_back(text.substr(start));
+            break;
+        }
+        lines.push_back(text.substr(start, nl - start));
+        start = nl + 1;
+    }
+    return lines;
+}
+
+/// `#include` directive on a line, if any.  Returns true and fills `target`
+/// (the path) and `quoted` (quote form vs angle form).
+bool parse_include(const std::string& line, std::string& target,
+                   bool& quoted) {
+    std::size_t i = 0;
+    while (i < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[i]))) {
+        ++i;
+    }
+    if (i >= line.size() || line[i] != '#') { return false; }
+    ++i;
+    while (i < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[i]))) {
+        ++i;
+    }
+    if (line.compare(i, 7, "include") != 0) { return false; }
+    i += 7;
+    while (i < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[i]))) {
+        ++i;
+    }
+    if (i >= line.size()) { return false; }
+    const char open = line[i];
+    const char close = open == '"' ? '"' : (open == '<' ? '>' : '\0');
+    if (close == '\0') { return false; }
+    const std::size_t end = line.find(close, i + 1);
+    if (end == std::string::npos) { return false; }
+    target = line.substr(i + 1, end - i - 1);
+    quoted = open == '"';
+    return true;
+}
+
+/// Layer of a root-relative path: "src/bdd/bdd.cpp" -> "bdd",
+/// "src/leq.hpp" -> "root", anything else -> "".
+std::string layer_of_path(const std::string& path) {
+    if (path.compare(0, 4, "src/") != 0) { return ""; }
+    const std::size_t slash = path.find('/', 4);
+    if (slash == std::string::npos) { return "root"; }
+    return path.substr(4, slash - 4);
+}
+
+bool is_header(const std::string& path) {
+    const std::size_t dot = path.find_last_of('.');
+    if (dot == std::string::npos) { return false; }
+    const std::string ext = path.substr(dot);
+    return ext == ".hpp" || ext == ".h" || ext == ".hh";
+}
+
+// the concurrency vocabulary: simple tokens are matched whole-word in the
+// stripped text; headers are matched against parsed #include targets
+const char* const kConcurrencyTokens[] = {
+    "std::thread",     "std::jthread",        "std::mutex",
+    "std::timed_mutex", "std::recursive_mutex", "std::shared_mutex",
+    "std::condition_variable", "std::condition_variable_any",
+    "std::atomic",     "std::atomic_flag",    "std::this_thread",
+    "std::lock_guard", "std::scoped_lock",    "std::unique_lock",
+    "std::shared_lock", "std::future",        "std::promise",
+    "std::async",      "std::counting_semaphore", "std::binary_semaphore",
+    "std::latch",      "std::barrier",        "std::stop_token",
+    "std::call_once",  "std::once_flag",
+};
+
+const char* const kConcurrencyHeaders[] = {
+    "thread", "mutex", "atomic", "condition_variable", "future",
+    "shared_mutex", "semaphore", "latch", "barrier", "stop_token",
+};
+
+// `std::atomic<...>` templates begin with "std::atomic"; contains_token
+// requires a non-identifier char after the token, so "std::atomic_flag"
+// still needs its own entry but "std::atomic<int>" matches "std::atomic".
+
+/// Destructor-with-throw scan over the stripped text.  A destructor
+/// definition is `~Identifier (` preceded (ignoring whitespace) by one of
+/// `{` `}` `;` `:` or the token `virtual` — which separates it from bitwise
+/// NOT in expressions, where `~` follows an operator or `(`.
+void scan_dtor_throw(const std::string& path, const std::string& stripped,
+                     std::vector<violation>& out) {
+    const std::size_t n = stripped.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        if (stripped[i] != '~') { continue; }
+        // previous meaningful character
+        std::size_t p = i;
+        while (p > 0 &&
+               std::isspace(static_cast<unsigned char>(stripped[p - 1]))) {
+            --p;
+        }
+        bool definition_context = p == 0;
+        if (p > 0) {
+            const char prev = stripped[p - 1];
+            definition_context =
+                prev == '{' || prev == '}' || prev == ';' || prev == ':';
+            if (!definition_context && is_ident_char(prev)) {
+                // token ending at p: "virtual" introduces a dtor declaration
+                std::size_t b = p;
+                while (b > 0 && is_ident_char(stripped[b - 1])) { --b; }
+                definition_context = stripped.compare(b, p - b, "virtual") == 0;
+            }
+        }
+        if (!definition_context) { continue; }
+        // ~ Identifier ( ... )
+        std::size_t j = i + 1;
+        while (j < n && std::isspace(static_cast<unsigned char>(stripped[j]))) {
+            ++j;
+        }
+        const std::size_t name_begin = j;
+        while (j < n && is_ident_char(stripped[j])) { ++j; }
+        if (j == name_begin) { continue; }
+        while (j < n && std::isspace(static_cast<unsigned char>(stripped[j]))) {
+            ++j;
+        }
+        if (j >= n || stripped[j] != '(') { continue; }
+        // skip the (empty) parameter list
+        int depth = 1;
+        ++j;
+        while (j < n && depth > 0) {
+            if (stripped[j] == '(') { ++depth; }
+            if (stripped[j] == ')') { --depth; }
+            ++j;
+        }
+        // skip specifiers (noexcept, override, ...) up to `{`, `;` or `=`
+        while (j < n && stripped[j] != '{' && stripped[j] != ';' &&
+               stripped[j] != '=') {
+            if (stripped[j] == '(') { // noexcept(expr)
+                int d = 1;
+                ++j;
+                while (j < n && d > 0) {
+                    if (stripped[j] == '(') { ++d; }
+                    if (stripped[j] == ')') { --d; }
+                    ++j;
+                }
+                continue;
+            }
+            ++j;
+        }
+        if (j >= n || stripped[j] != '{') { continue; } // declaration only
+        // scan the body for a `throw` token
+        const std::size_t body_begin = j;
+        depth = 1;
+        ++j;
+        while (j < n && depth > 0) {
+            if (stripped[j] == '{') { ++depth; }
+            if (stripped[j] == '}') { --depth; }
+            if (stripped[j] == 't' &&
+                stripped.compare(j, 5, "throw") == 0 &&
+                !is_ident_char(stripped[j + 5 < n ? j + 5 : n - 1]) &&
+                !is_ident_char(stripped[j - 1])) {
+                const int line = 1 + static_cast<int>(std::count(
+                    stripped.begin(),
+                    stripped.begin() + static_cast<std::ptrdiff_t>(j), '\n'));
+                out.push_back({path, line, "dtor-throw",
+                               "'throw' inside a destructor body: a "
+                               "destructor that throws during unwinding "
+                               "terminates the process"});
+                j = body_begin; // report once per destructor
+                break;
+            }
+            ++j;
+        }
+        if (j == body_begin) {
+            // violation reported; resume after the body
+            depth = 1;
+            j = body_begin + 1;
+            while (j < n && depth > 0) {
+                if (stripped[j] == '{') { ++depth; }
+                if (stripped[j] == '}') { --depth; }
+                ++j;
+            }
+        }
+        i = j;
+    }
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// per-file checks
+// ---------------------------------------------------------------------------
+
+void lint_file(const std::string& path, const std::string& content,
+               const std::vector<std::string>& layers,
+               const lint_config& config, std::vector<violation>& out) {
+    const std::string stripped = strip_comments_and_strings(content);
+    const std::vector<std::string> lines = split_lines(stripped);
+    const std::string layer = layer_of_path(path);
+    const bool header = is_header(path);
+
+    bool saw_pragma_once = false;
+    for (std::size_t k = 0; k < lines.size(); ++k) {
+        const std::string& line = lines[k];
+        const int line_no = static_cast<int>(k) + 1;
+
+        std::string target;
+        bool quoted = false;
+        if (parse_include(line, target, quoted)) {
+            if (quoted) {
+                const std::size_t slash = target.find('/');
+                if (slash == std::string::npos) {
+                    if (!config.is_allowed("include-style", path)) {
+                        out.push_back(
+                            {path, line_no, "include-style",
+                             "project include '" + target +
+                                 "' is not layer-qualified (expected "
+                                 "\"<layer>/" + target + "\")"});
+                    }
+                } else {
+                    const std::string to = target.substr(0, slash);
+                    const bool known =
+                        std::find(layers.begin(), layers.end(), to) !=
+                        layers.end();
+                    if (known && to != layer &&
+                        !config.edge_allowed(layer, to) &&
+                        !config.is_allowed("layering", path)) {
+                        out.push_back(
+                            {path, line_no, "layering",
+                             "layer '" + layer + "' must not include '" +
+                                 target + "': edge " + layer + " -> " + to +
+                                 " is not in the sanctioned layer DAG "
+                                 "(.leq_lint)"});
+                    }
+                }
+            } else if (!config.is_allowed("concurrency", path)) {
+                for (const char* h : kConcurrencyHeaders) {
+                    if (target == h) {
+                        out.push_back(
+                            {path, line_no, "concurrency",
+                             "concurrency header <" + target +
+                                 "> outside the sanctioned seams (see "
+                                 "'allow concurrency' in .leq_lint)"});
+                    }
+                }
+            }
+        }
+
+        if (contains_token(line, "pragma") && contains_token(line, "once")) {
+            saw_pragma_once = true;
+        }
+        if (!config.is_allowed("concurrency", path)) {
+            for (const char* token : kConcurrencyTokens) {
+                if (contains_token(line, token)) {
+                    out.push_back(
+                        {path, line_no, "concurrency",
+                         std::string(token) +
+                             " outside the sanctioned seams (see 'allow "
+                             "concurrency' in .leq_lint)"});
+                    break; // one report per line
+                }
+            }
+        }
+        if (header && contains_token(line, "using") &&
+            line.find("namespace") != std::string::npos &&
+            contains_token(line, "using namespace") &&
+            !config.is_allowed("using-namespace", path)) {
+            out.push_back({path, line_no, "using-namespace",
+                           "'using namespace' at header scope leaks into "
+                           "every includer"});
+        }
+    }
+
+    if (header && !saw_pragma_once &&
+        !config.is_allowed("pragma-once", path)) {
+        out.push_back({path, 1, "pragma-once",
+                       "header is missing '#pragma once'"});
+    }
+    if (!config.is_allowed("dtor-throw", path)) {
+        scan_dtor_throw(path, stripped, out);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// tree walk
+// ---------------------------------------------------------------------------
+
+lint_report lint_tree(const std::string& root, const lint_config& config) {
+    const fs::path src = fs::path(root) / "src";
+    if (!fs::is_directory(src)) {
+        throw std::runtime_error("leq_lint: no src/ directory under '" +
+                                 root + "'");
+    }
+
+    std::vector<std::string> files; // root-relative, sorted for determinism
+    for (const auto& entry : fs::recursive_directory_iterator(src)) {
+        if (!entry.is_regular_file()) { continue; }
+        const std::string ext = entry.path().extension().string();
+        if (ext != ".cpp" && ext != ".hpp" && ext != ".h" && ext != ".cc" &&
+            ext != ".hh" && ext != ".cxx") {
+            continue;
+        }
+        files.push_back(
+            fs::relative(entry.path(), fs::path(root)).generic_string());
+    }
+    std::sort(files.begin(), files.end());
+
+    std::vector<std::string> layers;
+    for (const std::string& file : files) {
+        const std::string layer = layer_of_path(file);
+        if (!layer.empty() &&
+            std::find(layers.begin(), layers.end(), layer) == layers.end()) {
+            layers.push_back(layer);
+        }
+    }
+
+    lint_report report;
+    for (const std::string& file : files) {
+        std::ifstream in(fs::path(root) / file, std::ios::binary);
+        if (!in) {
+            throw std::runtime_error("leq_lint: cannot read '" + file + "'");
+        }
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        lint_file(file, buffer.str(), layers, config, report.violations);
+        ++report.files_scanned;
+    }
+    std::sort(report.violations.begin(), report.violations.end(),
+              [](const violation& a, const violation& b) {
+                  return std::tie(a.file, a.line, a.rule) <
+                         std::tie(b.file, b.line, b.rule);
+              });
+    return report;
+}
+
+// ---------------------------------------------------------------------------
+// report
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::string to_json(const lint_report& report) {
+    std::ostringstream out;
+    out << "{\"files_scanned\":" << report.files_scanned
+        << ",\"violation_count\":" << report.violations.size()
+        << ",\"violations\":[";
+    for (std::size_t i = 0; i < report.violations.size(); ++i) {
+        const violation& v = report.violations[i];
+        if (i != 0) { out << ","; }
+        out << "{\"file\":\"" << json_escape(v.file) << "\",\"line\":"
+            << v.line << ",\"rule\":\"" << json_escape(v.rule)
+            << "\",\"message\":\"" << json_escape(v.message) << "\"}";
+    }
+    out << "]}";
+    return out.str();
+}
+
+} // namespace leq_lint

@@ -1,0 +1,101 @@
+/// \file lint_core.hpp
+/// \brief The `leq_lint` analysis core: project-invariant checks over the
+/// source tree.
+///
+/// `leq_lint` machine-checks the invariants that docs/ARCHITECTURE.md states
+/// in prose, so a violation is a red CI job instead of a review comment:
+///
+///  * **layering** — every `#include "layer/header.hpp"` between two layer
+///    directories under `src/` must be an edge of the sanctioned layer DAG
+///    (declared in the `.leq_lint` config, mirroring the ARCHITECTURE.md
+///    diagram).  Upward or sideways includes — say `bdd/` reaching into
+///    `rel/` — are violations.
+///  * **concurrency** — `std::thread`, mutexes, atomics, futures and their
+///    headers are confined to the sanctioned concurrency seams (config
+///    `allow concurrency <file>` lines; today `src/cli/batch.cpp` plus the
+///    `LEQ_CHECKED` instrumentation in `src/bdd/`).  Everything else in the
+///    library must stay single-threaded by construction.
+///  * **dtor-throw** — no `throw` inside a destructor body: a destructor
+///    that throws during unwinding terminates the process.
+///  * **pragma-once** — every header carries `#pragma once`.
+///  * **using-namespace** — no `using namespace` at header scope.
+///  * **include-style** — project includes are layer-qualified
+///    (`"bdd/bdd.hpp"`, never `"bdd.hpp"`), so the layer of every edge is
+///    visible at the include site.
+///
+/// The analysis is textual (a comment/string-aware scanner, not a compiler
+/// front end) and therefore checks what is *written*, including code behind
+/// `#ifdef`s that no configure ever enables.  Header self-containedness is
+/// the one hygiene rule that needs a real compiler; the build enforces it
+/// separately (the `leq_header_selfcheck` object library compiles every
+/// header as its own translation unit).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace leq_lint {
+
+/// One rule violation at a source location.
+struct violation {
+    std::string file; ///< path relative to the lint root
+    int line = 0;     ///< 1-based; 0 = whole-file violation
+    std::string rule; ///< machine-stable rule id (see lint_core.hpp doc)
+    std::string message;
+};
+
+/// Parsed `.leq_lint` configuration: the sanctioned layer DAG plus per-rule
+/// file exceptions.
+struct lint_config {
+    /// Allowed include edges between layer directories; a `to` of "*" allows
+    /// every target (used for the `src/leq.hpp` umbrella's `root` layer).
+    std::vector<std::pair<std::string, std::string>> layer_edges;
+    /// (rule id, file) pairs exempted from that rule.
+    std::vector<std::pair<std::string, std::string>> allows;
+
+    [[nodiscard]] bool edge_allowed(const std::string& from,
+                                    const std::string& to) const;
+    [[nodiscard]] bool is_allowed(const std::string& rule,
+                                  const std::string& file) const;
+};
+
+/// Parse a config text.  Directives, one per line, `#` comments:
+///   layer-edge FROM TO      sanction the include edge FROM -> TO ("*" = any)
+///   allow RULE FILE         exempt FILE from RULE
+/// Unknown directives are appended to `errors`.
+lint_config parse_config(const std::string& text,
+                         std::vector<std::string>& errors);
+
+/// Load and parse the config file at `path`.  A missing file is an error —
+/// the sanctioned-edge list is part of the contract, not an optional extra.
+lint_config load_config(const std::string& path,
+                        std::vector<std::string>& errors);
+
+/// Result of linting a tree.
+struct lint_report {
+    std::vector<violation> violations; ///< sorted by (file, line, rule)
+    std::size_t files_scanned = 0;
+};
+
+/// Lint every C++ source file under `root`/src.
+lint_report lint_tree(const std::string& root, const lint_config& config);
+
+/// Lint one in-memory file (exposed for the self-test fixture and unit
+/// tests).  `path` is the root-relative path used for layer resolution and
+/// exception matching; `layers` is the set of known layer directory names.
+void lint_file(const std::string& path, const std::string& content,
+               const std::vector<std::string>& layers,
+               const lint_config& config, std::vector<violation>& out);
+
+/// Machine-readable report: {"files_scanned": N, "violations": [...]}.
+std::string to_json(const lint_report& report);
+
+/// Replace comments, string literals and character literals with spaces,
+/// preserving line structure.  String literals on preprocessor lines (first
+/// non-blank char `#`) are kept so `#include "..."` paths stay readable.
+/// Exposed for tests.
+std::string strip_comments_and_strings(const std::string& text);
+
+} // namespace leq_lint
