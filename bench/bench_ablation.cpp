@@ -17,6 +17,7 @@
 #include "eq/solver.hpp"
 #include "eq/reduce.hpp"
 #include "eq/subsolution.hpp"
+#include "gen/scenario.hpp"
 #include "net/generator.hpp"
 #include "net/latch_split.hpp"
 
@@ -40,6 +41,8 @@ std::string cell(const leq::solve_result& r) {
 int main(int argc, char** argv) {
     using namespace leq;
     const double limit = argc > 1 ? std::atof(argv[1]) : 100.0;
+    // LEQ_TEST_SEED shifts the generated circuits (0 when unset)
+    const std::uint32_t base = test_seed(0);
 
     struct workload {
         std::string name;
@@ -55,12 +58,12 @@ int main(int argc, char** argv) {
         spec.num_inputs = 3;
         spec.num_outputs = 6;
         spec.num_latches = 14;
-        spec.seed = 14;
+        spec.seed = base + 14;
         workloads.push_back({"mix14", make_structured_mix(spec), 7});
         spec.num_inputs = 9;
         spec.num_outputs = 11;
         spec.num_latches = 15;
-        spec.seed = 349;
+        spec.seed = base + 349;
         workloads.push_back({"mix15", make_structured_mix(spec), 10});
         workloads.push_back({"cnt8", make_counter(8), 2});
         workloads.push_back({"lfsr10", make_lfsr(10, {2, 6}), 5});

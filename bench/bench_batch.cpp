@@ -10,6 +10,7 @@
 /// Usage: leq_bench_batch [jobs-per-family]   (default 6)
 
 #include "cli/batch.hpp"
+#include "gen/scenario.hpp"
 
 #include <cstdlib>
 #include <iostream>
@@ -24,11 +25,13 @@ using namespace leq;
 std::vector<batch_job> make_jobs(std::size_t per_family) {
     const char* families[] = {"random", "counter", "arbiter", "pipeline",
                               "nondet", "mutant"};
+    // LEQ_TEST_SEED shifts the whole seed range (0 when unset: seeds 1..N)
+    const std::size_t base = test_seed(0);
     std::vector<batch_job> jobs;
     for (const char* family : families) {
         for (std::size_t seed = 1; seed <= per_family; ++seed) {
-            const std::string spec =
-                "gen:" + std::string(family) + ":" + std::to_string(seed);
+            const std::string spec = "gen:" + std::string(family) + ":" +
+                                     std::to_string(base + seed);
             generated_pair pair = make_gen_pair(spec);
             batch_job job;
             job.name = spec.substr(4);

@@ -17,6 +17,7 @@
 /// Usage: bench_scaling [time_limit_seconds] (default 60)
 
 #include "eq/solver.hpp"
+#include "gen/scenario.hpp"
 #include "img/image.hpp"
 #include "rel/relation.hpp"
 #include "net/generator.hpp"
@@ -160,13 +161,15 @@ double policy_sweep(const char* label, const network& net) {
 
 int main(int argc, char** argv) {
     const double limit = argc > 1 ? std::atof(argv[1]) : 60.0;
+    // LEQ_TEST_SEED shifts every series (0 when unset: canonical circuits)
+    const std::uint32_t base = test_seed(0);
 
     {
         structured_spec spec;
         spec.num_inputs = 3;
         spec.num_outputs = 6;
         spec.num_latches = 14;
-        spec.seed = 14;
+        spec.seed = base + 14;
         const network original = make_structured_mix(spec);
         std::printf("Series A: s298 family, i/o/cs = %zu/%zu/%zu\n",
                     original.num_inputs(), original.num_outputs(),
@@ -179,8 +182,8 @@ int main(int argc, char** argv) {
         a.num_outputs = b.num_outputs = 6;
         a.num_latches = 11;
         b.num_latches = 10;
-        a.seed = 6;
-        b.seed = 1;
+        a.seed = base + 6;
+        b.seed = base + 1;
         a.chained_enables = b.chained_enables = true;
         const network original = make_paired_mix(a, b);
         std::printf("\nSeries B: s444 family, i/o/cs = %zu/%zu/%zu "
@@ -208,7 +211,7 @@ int main(int argc, char** argv) {
             spec.num_inputs = 4;
             spec.num_outputs = 4;
             spec.num_latches = latches;
-            spec.seed = 23;
+            spec.seed = base + 23;
             if (strategy_sweep(("mix-" + std::to_string(latches)).c_str(),
                                make_structured_mix(spec)) > limit) {
                 break;
@@ -225,7 +228,7 @@ int main(int argc, char** argv) {
             spec.num_inputs = 4;
             spec.num_outputs = 4;
             spec.num_latches = latches;
-            spec.seed = 29;
+            spec.seed = base + 29;
             if (policy_sweep(("mix-" + std::to_string(latches)).c_str(),
                              make_structured_mix(spec)) > limit) {
                 break;

@@ -3,6 +3,7 @@
 
 #include "bdd/bdd.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 
@@ -146,19 +147,37 @@ bdd bdd::low() const {
 // manager construction
 // ---------------------------------------------------------------------------
 
-bdd_manager::bdd_manager(std::uint32_t num_vars, unsigned cache_bits) {
+bdd_manager::bdd_manager(std::uint32_t num_vars, unsigned cache_bits)
+    : bdd_manager(num_vars, [cache_bits] {
+          bdd_manager_options options;
+          options.cache_bits = cache_bits;
+          return options;
+      }()) {}
+
+bdd_manager::bdd_manager(std::uint32_t num_vars,
+                         const bdd_manager_options& options) {
 #ifdef LEQ_CHECKED
     checked_serial_ = ++checked_next_serial;
     checked_owner_ = std::this_thread::get_id();
 #endif
+    // sanitize the tuning: cache sizes must stay addressable powers of two
+    // and the ceiling can never undercut the initial size
+    opts_ = options;
+    opts_.cache_bits = std::min(std::max(opts_.cache_bits, 8u), 30u);
+    opts_.max_cache_bits =
+        std::min(std::max(opts_.max_cache_bits, opts_.cache_bits), 30u);
+    opts_.gc_threshold = std::max<std::size_t>(opts_.gc_threshold, 1u << 10);
+    gc_threshold_ = opts_.gc_threshold;
     nodes_.reserve(1u << 12);
     // node 0: the single terminal, denoting FALSE as a regular reference
     // (reference 0 = FALSE, reference 1 = TRUE)
     nodes_.push_back({var_nil, 0, 0, idx_nil});
     ext_ref_.assign(1, 1); // the terminal is permanently live
     buckets_.assign(1u << 12, idx_nil);
-    cache_.assign(std::size_t{1} << cache_bits, cache_entry{});
-    cache_mask_ = (std::uint64_t{1} << cache_bits) - 1;
+    cache_.assign(std::size_t{1} << opts_.cache_bits, cache_entry{});
+    cache_mask_ = (std::uint64_t{1} << opts_.cache_bits) - 1;
+    stats_.cache_entries = cache_.size();
+    stats_.gc_threshold = gc_threshold_;
     for (std::uint32_t v = 0; v < num_vars; ++v) { new_var(); }
 }
 
@@ -246,6 +265,26 @@ void bdd_manager::rehash(std::size_t new_size) {
     assert(free_list_.empty());
     buckets_.assign(new_size, idx_nil);
     for (std::uint32_t i = 1; i < nodes_.size(); ++i) { unique_insert(i); }
+    // the computed cache scales with the unique table: a direct-mapped
+    // cache sized for unit tests thrashes once the arena holds millions of
+    // nodes, so every table growth re-checks the cache budget
+    maybe_grow_cache();
+}
+
+void bdd_manager::maybe_grow_cache() {
+    const std::size_t limit = std::size_t{1} << opts_.max_cache_bits;
+    std::size_t target = cache_.size();
+    // keep at least two cache slots per table bucket, up to the ceiling
+    while (target < 2 * buckets_.size() && target < limit) { target *= 2; }
+    if (target == cache_.size()) { return; }
+    // clear-on-grow: a slot index depends on the mask, so the old entries
+    // would be unreachable under the new one anyway; entries are pure memo,
+    // and dropping them mid-operation merely recomputes (growth happens at
+    // most max_cache_bits - cache_bits times per manager lifetime)
+    cache_.assign(target, cache_entry{});
+    cache_mask_ = static_cast<std::uint64_t>(target) - 1;
+    ++stats_.cache_resizes;
+    stats_.cache_entries = target;
 }
 
 // ---------------------------------------------------------------------------
@@ -261,18 +300,44 @@ void bdd_manager::inc_ext_ref(std::uint32_t ref) {
 
 void bdd_manager::dec_ext_ref(std::uint32_t ref) {
     checked_thread_guard("bdd handle release");
+#ifdef LEQ_CHECKED
+    if (ext_ref_[node_of(ref)] == 0) {
+        std::ostringstream os;
+        os << "leq checked build: bdd handle release underflow: node "
+           << node_of(ref) << " of manager #" << checked_serial_
+           << " has no outstanding external references; a handle was "
+              "released twice (double destroy, or a bitwise handle copy "
+              "that bypassed bdd's reference counting) — in a release "
+              "build this wraps the count and the next garbage collection "
+              "frees a live node";
+        checked_abort(os.str());
+    }
+#endif
     assert(ext_ref_[node_of(ref)] > 0);
     --ext_ref_[node_of(ref)];
 }
 
 void bdd_manager::maybe_gc_or_grow() {
-    if (nodes_.size() - free_list_.size() >= gc_threshold_) {
-        collect_garbage();
-        // if GC freed less than a quarter, raise the bar
-        if (nodes_.size() - free_list_.size() > gc_threshold_ / 4 * 3) {
-            gc_threshold_ *= 2;
-        }
+    if (nodes_.size() - free_list_.size() < gc_threshold_) { return; }
+    collect_garbage();
+    if (opts_.adaptive_gc) {
+        // scale-aware trigger: let the live set double before the next
+        // collection, but never collect before the dead fraction is worth
+        // the sweep — each GC walks the whole arena and clears the
+        // computed cache, so firing every `floor` allocations on a 100k+
+        // node arena thrashes the cache for nothing.  An unproductive GC
+        // (everything survived) raises the bar exactly as far as the
+        // survivors demand; a productive one drops it back toward
+        // max(floor, arena/2) — the historical fixed doubling ratcheted
+        // up and never came down
+        gc_threshold_ = std::max({opts_.gc_threshold,
+                                  stats_.live_nodes * 2,
+                                  nodes_.size() / 2});
+    } else if (nodes_.size() - free_list_.size() > gc_threshold_ / 4 * 3) {
+        // historical policy: if GC freed less than a quarter, double
+        gc_threshold_ *= 2;
     }
+    stats_.gc_threshold = gc_threshold_;
 }
 
 void bdd_manager::collect_garbage() {

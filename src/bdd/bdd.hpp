@@ -3,7 +3,8 @@
 /// for CUDD in this build).
 ///
 /// The package implements reduced ordered binary decision diagrams with
-/// complement edges, a unique table, a direct-mapped computed cache,
+/// complement edges, a unique table, a direct-mapped computed cache that
+/// grows geometrically with the unique table (see bdd_manager_options),
 /// mark-and-sweep garbage collection driven by externally held handles,
 /// quantification, relational-product (and-exists), variable permutation,
 /// composition and in-place dynamic reordering.
@@ -142,6 +143,37 @@ struct bdd_stats {
     std::size_t cache_lookups = 0;
     std::size_t cache_hits = 0;
     std::size_t reorderings = 0;
+    std::size_t cache_entries = 0;  ///< current computed-cache slots
+    std::size_t cache_resizes = 0;  ///< computed-cache growth events
+    std::size_t gc_threshold = 0;   ///< current allocated-node GC trigger
+};
+
+/// Construction-time tuning of a manager's memory discipline: computed-cache
+/// sizing and the garbage-collection trigger.  The defaults fit unit-test
+/// workloads; the equation solver overrides them (problem_manager_defaults()
+/// in eq/problem.hpp) and the `leq` CLI exposes all three knobs as
+/// --cache-bits / --max-cache-bits / --gc-threshold.
+struct bdd_manager_options {
+    /// log2 of the initial computed-cache size.
+    unsigned cache_bits = 18;
+    /// log2 ceiling for computed-cache growth.  The cache tracks the unique
+    /// table geometrically — at least two direct-mapped slots per table
+    /// bucket, doubling whenever the table outgrows it (clear-on-grow, so
+    /// lookups stay a single masked probe) — until it reaches
+    /// 2^max_cache_bits.  max_cache_bits == cache_bits pins the historical
+    /// fixed-size cache that never resized after construction.
+    unsigned max_cache_bits = 24;
+    /// Allocated-node count that triggers the first garbage collection;
+    /// also the floor the adaptive trigger never drops below.
+    std::size_t gc_threshold = std::size_t{1} << 14;
+    /// Drive the GC trigger by the live-node ratio each collection measures
+    /// (next trigger = max(gc_threshold, 2 * live nodes)): a collection that
+    /// finds everything live raises the bar exactly as far as the survivors
+    /// demand, and a productive one lowers it back toward the floor.  When
+    /// false the historical fixed-doubling policy applies: the trigger
+    /// doubles whenever a collection frees less than a quarter of the arena
+    /// and can never come back down.
+    bool adaptive_gc = true;
 };
 
 /// The BDD manager: node arena, unique table, computed cache and the
@@ -151,8 +183,12 @@ struct bdd_stats {
 class bdd_manager {
 public:
     /// \param num_vars   initial number of variables (ids 0..num_vars-1)
-    /// \param cache_bits log2 of the computed-cache size
+    /// \param cache_bits log2 of the *initial* computed-cache size; the
+    ///        cache grows with the unique table up to the default ceiling
+    ///        (bdd_manager_options::max_cache_bits)
     explicit bdd_manager(std::uint32_t num_vars = 0, unsigned cache_bits = 18);
+    /// Full memory tuning (cache sizing, GC trigger policy).
+    bdd_manager(std::uint32_t num_vars, const bdd_manager_options& options);
     ~bdd_manager();
 
     bdd_manager(const bdd_manager&) = delete;
@@ -425,6 +461,7 @@ private:
     void unique_remove(std::uint32_t idx);
     void rehash(std::size_t new_size);
     void maybe_gc_or_grow();
+    void maybe_grow_cache();
 
     // reordering internals (bdd_reorder.cpp); rc_ / var_nodes_ are only
     // populated between reorder_begin and reorder_end
@@ -507,7 +544,8 @@ private:
     std::uint64_t cache_mask_ = 0;
     std::vector<std::uint32_t> var2level_;
     std::vector<std::uint32_t> level2var_;
-    std::size_t gc_threshold_ = 1u << 14;
+    bdd_manager_options opts_;
+    std::size_t gc_threshold_ = std::size_t{1} << 14;
     bdd_stats stats_;
     std::vector<char> mark_; ///< scratch for GC / traversals
 

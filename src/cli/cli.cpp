@@ -5,6 +5,7 @@
 
 #include "cli/batch.hpp"
 
+#include <algorithm>
 #include <cctype>
 #include <fstream>
 #include <ostream>
@@ -26,8 +27,9 @@ int usage(std::ostream& err) {
         << "  batch MANIFEST   run a manifest of equations on a thread pool\n"
         << "\n"
         << "F and S are BLIF or KISS2 files (detected by extension, then\n"
-        << "content); `gen:FAMILY[:SEED]` in place of the pair generates a\n"
-        << "fuzz-scenario instance (seed defaults to LEQ_TEST_SEED or 1).\n"
+        << "content); `gen:FAMILY[:SEED[:SCALE]]` in place of the pair\n"
+        << "generates a fuzz-scenario instance (seed defaults to\n"
+        << "LEQ_TEST_SEED or 1; each doubling of SCALE adds a state bit).\n"
         << "\n"
         << "solver options (all commands):\n"
         << "  --flow F         partitioned (default) | monolithic | explicit\n"
@@ -42,6 +44,14 @@ int usage(std::ostream& err) {
         << "  --collect-stats     track peak intermediate product sizes\n"
         << "  --time-limit SEC    wall-clock deadline per solve (default 0)\n"
         << "  --max-states N      subset-state cap per solve (default 0)\n"
+        << "  --cache-bits B      initial computed-cache size 2^B, 8..30\n"
+        << "                   (default 18; the cache grows with the node\n"
+        << "                   arena up to --max-cache-bits)\n"
+        << "  --max-cache-bits B  computed-cache growth ceiling 2^B, 8..30\n"
+        << "                   (default 24; B == --cache-bits pins a fixed\n"
+        << "                   cache)\n"
+        << "  --gc-threshold N    allocated-node GC trigger floor\n"
+        << "                   (default 16384)\n"
         << "  --choice-inputs N   trailing F inputs are choice inputs w\n"
         << "  --name NAME         job label in the JSON record\n"
         << "  --timing | --no-timing   include wall-clock fields (default:\n"
@@ -182,6 +192,29 @@ int parse_flags(const std::vector<std::string>& args, parsed_args& parsed,
         } else if (arg == "--max-states") {
             if (!numeric("--max-states",
                          parsed.config.solve.max_subset_states)) {
+                return 2;
+            }
+        } else if (arg == "--cache-bits" || arg == "--max-cache-bits") {
+            std::size_t bits = 0;
+            if (!numeric(arg.c_str(), bits)) { return 2; }
+            if (bits < 8 || bits > 30) {
+                err << "leq: " << arg << " must be in 8..30\n";
+                return 2;
+            }
+            if (arg == "--cache-bits") {
+                parsed.config.solve.mem.cache_bits =
+                    static_cast<unsigned>(bits);
+                // keep the pair consistent when only the floor is raised
+                parsed.config.solve.mem.max_cache_bits =
+                    std::max(parsed.config.solve.mem.max_cache_bits,
+                             static_cast<unsigned>(bits));
+            } else {
+                parsed.config.solve.mem.max_cache_bits =
+                    static_cast<unsigned>(bits);
+            }
+        } else if (arg == "--gc-threshold") {
+            if (!numeric("--gc-threshold",
+                         parsed.config.solve.mem.gc_threshold)) {
                 return 2;
             }
         } else if (arg == "--choice-inputs") {

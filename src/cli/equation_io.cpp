@@ -121,27 +121,42 @@ generated_pair make_gen_pair(const std::string& token) {
         throw std::runtime_error("not a gen: spec: '" + token + "'");
     }
     std::string family_name = token.substr(4);
+    // digits only: stoul would wrap "-1" instead of rejecting it
+    const auto parse_u32 = [&token](const std::string& text,
+                                    const char* what) -> std::uint32_t {
+        try {
+            if (text.empty() ||
+                std::isdigit(static_cast<unsigned char>(text[0])) == 0) {
+                throw std::invalid_argument(text);
+            }
+            std::size_t used = 0;
+            const auto value =
+                static_cast<std::uint32_t>(std::stoul(text, &used));
+            if (used != text.size()) { throw std::invalid_argument(text); }
+            return value;
+        } catch (const std::exception&) {
+            throw std::runtime_error(std::string("bad ") + what + " in '" +
+                                     token + "'");
+        }
+    };
     std::uint32_t seed = 0;
+    std::uint32_t scale = 1;
     bool have_seed = false;
     const std::size_t colon = family_name.find(':');
     if (colon != std::string::npos) {
-        const std::string seed_text = family_name.substr(colon + 1);
-        try {
-            // digits only: stoul would wrap "-1" instead of rejecting it
-            if (seed_text.empty() ||
-                std::isdigit(static_cast<unsigned char>(seed_text[0])) == 0) {
-                throw std::invalid_argument(seed_text);
-            }
-            std::size_t used = 0;
-            seed = static_cast<std::uint32_t>(std::stoul(seed_text, &used));
-            if (used != seed_text.size()) {
-                throw std::invalid_argument(seed_text);
-            }
-        } catch (const std::exception&) {
-            throw std::runtime_error("bad seed in '" + token + "'");
-        }
-        have_seed = true;
+        std::string seed_text = family_name.substr(colon + 1);
         family_name.erase(colon);
+        const std::size_t colon2 = seed_text.find(':');
+        if (colon2 != std::string::npos) {
+            scale = parse_u32(seed_text.substr(colon2 + 1), "scale");
+            if (scale == 0) {
+                throw std::runtime_error("bad scale in '" + token +
+                                         "': must be >= 1");
+            }
+            seed_text.erase(colon2);
+        }
+        seed = parse_u32(seed_text, "seed");
+        have_seed = true;
     }
     const auto family = scenario_family_from_string(family_name);
     if (!family.has_value()) {
@@ -150,7 +165,7 @@ generated_pair make_gen_pair(const std::string& token) {
     }
     if (!have_seed) { seed = test_seed(1); }
 
-    const scenario s = make_scenario(*family, seed);
+    const scenario s = make_scenario(*family, seed, scale);
     generated_pair pair;
     pair.fixed = {token + "#f", write_blif_string(s.fixed),
                   equation_format::blif};

@@ -62,15 +62,17 @@ struct loaded_equation {
                                             const equation_source& spec,
                                             std::size_t num_choice_inputs = 0);
 
-/// A generated-instance spec: `gen:FAMILY[:SEED]` names a fuzz scenario
-/// family (gen/scenario.hpp) instead of a file pair; the seed defaults to
-/// `test_seed(1)`, so `LEQ_TEST_SEED` pins it the same way it pins the
-/// randomized test suites.
+/// A generated-instance spec: `gen:FAMILY[:SEED[:SCALE]]` names a fuzz
+/// scenario family (gen/scenario.hpp) instead of a file pair; the seed
+/// defaults to `test_seed(1)`, so `LEQ_TEST_SEED` pins it the same way it
+/// pins the randomized test suites, and the optional scale widens the
+/// instance (one extra state bit per doubling — see make_scenario).
 [[nodiscard]] bool is_gen_spec(const std::string& token);
 
 /// Materialize a `gen:` spec as two in-memory BLIF sources plus the
-/// scenario's choice-input count.  Deterministic for equal (family, seed).
-/// Throws std::runtime_error on an unknown family or malformed spec.
+/// scenario's choice-input count.  Deterministic for equal
+/// (family, seed, scale).  Throws std::runtime_error on an unknown family
+/// or malformed spec.
 struct generated_pair {
     equation_source fixed;
     equation_source spec;

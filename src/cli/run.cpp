@@ -134,7 +134,8 @@ solve_record run_command(const std::string& command, const std::string& name,
         const loaded_equation eq =
             load_equation(fixed, spec, config.choice_inputs);
         const equation_problem problem(eq.fixed, eq.spec,
-                                       eq.num_choice_inputs);
+                                       eq.num_choice_inputs,
+                                       config.solve.mem);
         // the CSF's handles live in `problem`'s manager: drop them before
         // `problem` leaves scope, on the success and the unwind path alike
         try {
@@ -181,6 +182,11 @@ std::string record_to_json(const solve_record& record,
         opts.field("choice_inputs", record.choice_inputs);
         opts.field("time_limit", config.solve.time_limit_seconds);
         opts.field("max_subset_states", config.solve.max_subset_states);
+        opts.field("cache_bits",
+                   static_cast<std::size_t>(config.solve.mem.cache_bits));
+        opts.field("max_cache_bits",
+                   static_cast<std::size_t>(config.solve.mem.max_cache_bits));
+        opts.field("gc_threshold", config.solve.mem.gc_threshold);
         obj.field_raw("options", opts.str());
     }
     if (record.completed) {

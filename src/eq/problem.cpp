@@ -10,8 +10,16 @@
 
 namespace leq {
 
+bdd_manager_options problem_manager_defaults() {
+    bdd_manager_options mem;
+    mem.cache_bits = 18;
+    mem.max_cache_bits = 24;
+    return mem;
+}
+
 equation_problem::equation_problem(const network& fixed, const network& spec,
-                                   std::size_t num_choice_inputs) {
+                                   std::size_t num_choice_inputs,
+                                   const bdd_manager_options& mem) {
     if (fixed.num_inputs() < spec.num_inputs() + num_choice_inputs ||
         fixed.num_outputs() < spec.num_outputs()) {
         throw std::invalid_argument(
@@ -38,9 +46,7 @@ equation_problem::equation_problem(const network& fixed, const network& spec,
         }
     }
 
-    // generous computed cache: the subset construction re-runs the same
-    // image engines against thousands of subset states
-    mgr_ = std::make_unique<bdd_manager>(0, 22);
+    mgr_ = std::make_unique<bdd_manager>(0, mem);
     // creation order == level order (see header): the (u,v) block on top —
     // u/v pairs interleaved, since u_m == U_m(i,v,cs) couples each u tightly
     // to nearby v's and a u-block-above-v-block order makes those

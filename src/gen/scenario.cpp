@@ -28,6 +28,15 @@ std::size_t pick(std::mt19937& rng, std::size_t lo, std::size_t hi) {
     return lo + static_cast<std::size_t>(rng() % (hi - lo + 1));
 }
 
+/// Extra state bits a scale factor buys: floor(log2(max(scale, 1))).
+/// Applied *after* the rng draws so scaling widens a family without
+/// reshuffling its structure.
+std::size_t scale_bits(std::uint32_t scale) {
+    std::size_t bits = 0;
+    while ((scale >> (bits + 1)) != 0) { ++bits; }
+    return bits;
+}
+
 /// Latch-split scaffold shared by every split-derived family.
 void fill_from_split(scenario& s, const network& original,
                      std::size_t x_latches) {
@@ -38,13 +47,13 @@ void fill_from_split(scenario& s, const network& original,
     s.has_part = true;
 }
 
-scenario make_random_scenario(std::uint32_t seed) {
+scenario make_random_scenario(std::uint32_t seed, std::size_t extra) {
     scenario s;
     std::mt19937 rng = scenario_rng(scenario_family::random, seed);
     random_spec spec;
     spec.num_inputs = pick(rng, 2, 3);
     spec.num_outputs = 2;
-    spec.num_latches = pick(rng, 3, 5);
+    spec.num_latches = pick(rng, 3, 5) + extra;
     spec.max_fanin = 3;
     spec.seed = static_cast<std::uint32_t>(rng());
     const network net = make_random_sequential(spec);
@@ -52,15 +61,15 @@ scenario make_random_scenario(std::uint32_t seed) {
     return s;
 }
 
-scenario make_counter_scenario(std::uint32_t seed) {
+scenario make_counter_scenario(std::uint32_t seed, std::size_t extra) {
     scenario s;
     std::mt19937 rng = scenario_rng(scenario_family::counter, seed);
     network net;
     switch (rng() % 3) {
-    case 0: net = make_counter(pick(rng, 3, 5)); break;
-    case 1: net = make_shift_xor(pick(rng, 3, 5)); break;
+    case 0: net = make_counter(pick(rng, 3, 5) + extra); break;
+    case 1: net = make_shift_xor(pick(rng, 3, 5) + extra); break;
     default:
-        net = make_lfsr(pick(rng, 4, 5), {pick(rng, 1, 2)});
+        net = make_lfsr(pick(rng, 4, 5) + extra, {pick(rng, 1, 2)});
         break;
     }
     const std::size_t xl =
@@ -106,23 +115,54 @@ network make_handshake(bool phase_init) {
     return net;
 }
 
-scenario make_arbiter_scenario(std::uint32_t seed) {
+/// Chain of `stages` handshake controllers: stage k+1's request line is
+/// stage k's busy bit, so work ripples down the chain.  2*stages latches,
+/// deep-but-tractable reachable structure — the scaled arbiter family.
+network make_handshake_chain(std::size_t stages, bool phase_init) {
+    network net("handshake_chain");
+    net.add_input("req");
+    net.add_input("done");
+    net.add_output("ack");
+    net.add_output("phase");
+    for (std::size_t k = 0; k < stages; ++k) {
+        const std::string n = std::to_string(k);
+        net.add_latch("bn" + n, "bsy" + n, false);
+        net.add_latch("pn" + n, "ph" + n, phase_init && k == 0);
+        const std::string req_k =
+            k == 0 ? "req" : "bsy" + std::to_string(k - 1);
+        net.add_node("bn" + n, {req_k, "done", "bsy" + n}, {"1-0", "-01"});
+        net.add_node("pn" + n, {"ph" + n, req_k}, {"10", "01"});
+    }
+    net.add_node("ack", {"bsy" + std::to_string(stages - 1)}, {"1"});
+    net.add_node("phase", {"ph" + std::to_string(stages - 1)}, {"1"});
+    net.validate();
+    return net;
+}
+
+scenario make_arbiter_scenario(std::uint32_t seed, std::size_t extra) {
     scenario s;
     std::mt19937 rng = scenario_rng(scenario_family::arbiter, seed);
-    const network net = (rng() % 2) == 0 ? make_arbiter((rng() & 1) != 0)
-                                         : make_handshake((rng() & 1) != 0);
+    const bool arbiter = (rng() % 2) == 0;
+    const bool init = (rng() & 1) != 0;
+    const network net = extra > 0 ? make_handshake_chain(1 + extra, init)
+                        : arbiter ? make_arbiter(init)
+                                  : make_handshake(init);
     fill_from_split(s, net, pick(rng, 1, 2));
     return s;
 }
 
-scenario make_pipeline_scenario(std::uint32_t seed) {
+scenario make_pipeline_scenario(std::uint32_t seed, std::size_t extra) {
     scenario s;
     std::mt19937 rng = scenario_rng(scenario_family::pipeline, seed);
     network stage;
     switch (rng() % 3) {
-    case 0: stage = make_counter(pick(rng, 3, 4)); break;
-    case 1: stage = make_shift_xor(pick(rng, 3, 4)); break;
-    default: stage = make_paper_example(); break;
+    case 0: stage = make_counter(pick(rng, 3, 4) + extra); break;
+    case 1: stage = make_shift_xor(pick(rng, 3, 4) + extra); break;
+    default:
+        // the paper example has no width knob; the scaled variant widens a
+        // shifter instead
+        stage = extra == 0 ? make_paper_example() : make_shift_xor(4 + extra);
+        break;
     }
     // flatten a split back through the composition builder: the flat netlist
     // is behaviourally the stage machine, but with the pass-through u/v
@@ -138,7 +178,7 @@ scenario make_pipeline_scenario(std::uint32_t seed) {
     return s;
 }
 
-scenario make_nondet_scenario(std::uint32_t seed) {
+scenario make_nondet_scenario(std::uint32_t seed, std::size_t extra) {
     scenario s;
     std::mt19937 rng = scenario_rng(scenario_family::nondet, seed);
     // F's trailing input becomes the choice input w; F and S share the
@@ -146,13 +186,13 @@ scenario make_nondet_scenario(std::uint32_t seed) {
     random_spec f_spec;
     f_spec.num_inputs = 3; // i0, i1, w
     f_spec.num_outputs = 2;
-    f_spec.num_latches = pick(rng, 2, 3);
+    f_spec.num_latches = pick(rng, 2, 3) + extra;
     f_spec.max_fanin = 3;
     f_spec.seed = static_cast<std::uint32_t>(rng());
     random_spec s_spec;
     s_spec.num_inputs = 2;
     s_spec.num_outputs = 2;
-    s_spec.num_latches = 2;
+    s_spec.num_latches = 2 + extra / 2;
     s_spec.max_fanin = 3;
     s_spec.seed = static_cast<std::uint32_t>(rng());
     s.fixed = make_random_sequential(f_spec);
@@ -161,10 +201,10 @@ scenario make_nondet_scenario(std::uint32_t seed) {
     return s;
 }
 
-scenario make_mutant_scenario(std::uint32_t seed) {
+scenario make_mutant_scenario(std::uint32_t seed, std::size_t extra) {
     // start from a known-good split pair, then flip one spec bit
-    scenario s = (seed % 2) == 0 ? make_counter_scenario(seed / 2)
-                                 : make_random_scenario(seed / 2);
+    scenario s = (seed % 2) == 0 ? make_counter_scenario(seed / 2, extra)
+                                 : make_random_scenario(seed / 2, extra);
     std::mt19937 rng = scenario_rng(scenario_family::mutant, seed);
     const std::vector<mutation> all = enumerate_mutations(s.spec);
     if (all.empty()) {
@@ -200,19 +240,35 @@ scenario_family_from_string(const std::string& name) {
     return std::nullopt;
 }
 
-scenario make_scenario(scenario_family family, std::uint32_t seed) {
+scenario make_scenario(scenario_family family, std::uint32_t seed,
+                       std::uint32_t scale) {
+    const std::size_t extra = scale_bits(scale);
     scenario s;
     switch (family) {
-    case scenario_family::random: s = make_random_scenario(seed); break;
-    case scenario_family::counter: s = make_counter_scenario(seed); break;
-    case scenario_family::arbiter: s = make_arbiter_scenario(seed); break;
-    case scenario_family::pipeline: s = make_pipeline_scenario(seed); break;
-    case scenario_family::nondet: s = make_nondet_scenario(seed); break;
-    case scenario_family::mutant: s = make_mutant_scenario(seed); break;
+    case scenario_family::random:
+        s = make_random_scenario(seed, extra);
+        break;
+    case scenario_family::counter:
+        s = make_counter_scenario(seed, extra);
+        break;
+    case scenario_family::arbiter:
+        s = make_arbiter_scenario(seed, extra);
+        break;
+    case scenario_family::pipeline:
+        s = make_pipeline_scenario(seed, extra);
+        break;
+    case scenario_family::nondet:
+        s = make_nondet_scenario(seed, extra);
+        break;
+    case scenario_family::mutant:
+        s = make_mutant_scenario(seed, extra);
+        break;
     }
     s.family = family;
     s.seed = seed;
+    s.scale = scale < 1 ? 1 : scale;
     s.name = std::string(to_string(family)) + ":" + std::to_string(seed);
+    if (s.scale > 1) { s.name += ":" + std::to_string(s.scale); }
     return s;
 }
 

@@ -57,7 +57,8 @@ scenario_family_from_string(const std::string& name);
 struct scenario {
     scenario_family family = scenario_family::random;
     std::uint32_t seed = 0;
-    std::string name; ///< "family:seed", for logs and reproducers
+    std::uint32_t scale = 1; ///< state-space multiplier (see make_scenario)
+    std::string name; ///< "family:seed[:scale]", for logs and reproducers
 
     network fixed;
     network spec;
@@ -73,8 +74,18 @@ struct scenario {
 
 /// Build the (family, seed) instance.  Deterministic: equal arguments yield
 /// structurally identical networks.
+///
+/// `scale` multiplies the target state space: each doubling adds one state
+/// bit to the family's machine (counters/shifters get wider, arbiters chain
+/// more handshake stages, random machines gain latches), so `scale = 1024`
+/// asks for instances roughly a thousand times larger than the fuzz-sized
+/// defaults.  Only the floor power of two matters.  `scale = 1` is
+/// bit-for-bit identical to the historical two-argument call — shrunk fuzz
+/// reproducers stay valid — and every scale draws the same rng sequence, so
+/// scaling never reshuffles a family's structure, it only widens it.
 [[nodiscard]] scenario make_scenario(scenario_family family,
-                                     std::uint32_t seed);
+                                     std::uint32_t seed,
+                                     std::uint32_t scale = 1);
 
 // ---------------------------------------------------------------------------
 // shared helpers for the randomized test suites

@@ -162,5 +162,109 @@ TEST_P(bdd_props, compose_inverts_expansion) {
 
 INSTANTIATE_TEST_SUITE_P(seeds, bdd_props, ::testing::Range(1u, 16u));
 
+// ---------------------------------------------------------------------------
+// memory-discipline knobs (bdd_manager_options): cache growth and the GC
+// trigger must follow their documented policies, and identical workloads
+// must produce identical functions whatever the tuning
+// ---------------------------------------------------------------------------
+
+constexpr std::uint32_t big_nvars = 16;
+
+/// Enough distinct nodes to outgrow a 2^8-entry cache several times over.
+bdd big_function(bdd_manager& mgr, std::uint32_t seed) {
+    std::mt19937 rng(seed);
+    std::uniform_int_distribution<std::uint32_t> pick(0, big_nvars - 1);
+    bdd f = mgr.literal(pick(rng), (rng() & 1u) != 0);
+    for (std::size_t k = 0; k < 400; ++k) {
+        const bdd lit = mgr.literal(pick(rng), (rng() & 1u) != 0);
+        switch (rng() % 3) {
+            case 0: f = f & lit; break;
+            case 1: f = f | lit; break;
+            default: f = f ^ lit; break;
+        }
+        if (k % 5 == 0) { f = f ^ (mgr.var(pick(rng)) & f); }
+    }
+    return f;
+}
+
+TEST(bdd_manager_options_test, cache_grows_geometrically_with_unique_table) {
+    leq::bdd_manager_options small;
+    small.cache_bits = 8;
+    small.max_cache_bits = 16;
+    bdd_manager mgr(big_nvars, small);
+    EXPECT_EQ(mgr.stats().cache_entries, std::size_t{1} << 8);
+    const bdd f = big_function(mgr, 7);
+    // the node counters are refreshed by mark-and-sweep, so force one
+    ASSERT_GT(mgr.live_node_count(), 0u);
+    ASSERT_GT(mgr.stats().allocated_nodes, std::size_t{1} << 9)
+        << "workload too small to exercise cache growth";
+    EXPECT_GT(mgr.stats().cache_resizes, 0u);
+    EXPECT_GT(mgr.stats().cache_entries, std::size_t{1} << 8);
+    EXPECT_LE(mgr.stats().cache_entries, std::size_t{1} << 16);
+    // tuning must not change the function computed
+    bdd_manager reference(big_nvars);
+    EXPECT_EQ(mgr.sat_count(f, big_nvars),
+              reference.sat_count(big_function(reference, 7), big_nvars));
+}
+
+TEST(bdd_manager_options_test, max_cache_bits_pins_a_fixed_cache) {
+    leq::bdd_manager_options pinned;
+    pinned.cache_bits = 10;
+    pinned.max_cache_bits = 10; // the historical never-resizing cache
+    bdd_manager mgr(big_nvars, pinned);
+    (void)big_function(mgr, 7);
+    EXPECT_EQ(mgr.stats().cache_entries, std::size_t{1} << 10);
+    EXPECT_EQ(mgr.stats().cache_resizes, 0u);
+}
+
+TEST(bdd_manager_options_test, out_of_range_options_are_clamped) {
+    leq::bdd_manager_options wild;
+    wild.cache_bits = 2;      // below the 8-bit floor
+    wild.max_cache_bits = 4;  // below cache_bits after clamping
+    wild.gc_threshold = 1;    // below the 2^10 floor
+    bdd_manager mgr(4, wild);
+    EXPECT_EQ(mgr.stats().cache_entries, std::size_t{1} << 8);
+    EXPECT_EQ(mgr.stats().gc_threshold, std::size_t{1} << 10);
+}
+
+TEST(bdd_manager_options_test, legacy_ctor_pins_initial_cache_size) {
+    bdd_manager mgr(4, 12u);
+    EXPECT_EQ(mgr.stats().cache_entries, std::size_t{1} << 12);
+}
+
+TEST(bdd_manager_options_test, adaptive_gc_trigger_tracks_live_nodes) {
+    leq::bdd_manager_options opts;
+    opts.gc_threshold = std::size_t{1} << 10;
+    opts.adaptive_gc = true;
+    bdd_manager mgr(big_nvars, opts);
+    // churn: build and drop garbage until collections happen
+    for (std::uint32_t round = 0; round < 12; ++round) {
+        (void)big_function(mgr, 100 + round);
+    }
+    const auto& stats = mgr.stats();
+    ASSERT_GT(stats.gc_runs, 0u);
+    // the trigger never drops below the configured floor, and after a
+    // productive collection (all garbage above) it stays proportional to
+    // the live set / arena instead of ratcheting monotonically
+    EXPECT_GE(stats.gc_threshold, std::size_t{1} << 10);
+    EXPECT_LE(stats.gc_threshold,
+              std::max({std::size_t{1} << 10, 2 * stats.live_nodes,
+                        stats.allocated_nodes / 2}) +
+                  (std::size_t{1} << 10));
+}
+
+TEST(bdd_manager_options_test, legacy_gc_trigger_only_ratchets_up) {
+    leq::bdd_manager_options opts;
+    opts.gc_threshold = std::size_t{1} << 10;
+    opts.adaptive_gc = false;
+    bdd_manager mgr(big_nvars, opts);
+    std::size_t last = mgr.stats().gc_threshold;
+    for (std::uint32_t round = 0; round < 12; ++round) {
+        (void)big_function(mgr, 100 + round);
+        EXPECT_GE(mgr.stats().gc_threshold, last);
+        last = mgr.stats().gc_threshold;
+    }
+}
+
 } // namespace
 } // namespace leq

@@ -1,0 +1,301 @@
+/// \file test_bench.cpp
+/// \brief The pinned benchmark trajectory stays trustworthy: workloads are
+/// deterministic, the JSON schema round-trips, the compare gate fails on
+/// genuine regressions (and only those), the checked-in corpus is
+/// byte-identical to what the generators produce, and the checked-in
+/// BENCH_PR7.json baseline still parses with its before/after rows.
+///
+/// Compiled with LEQ_SOURCE_DIR pointing at the repo root so the suite can
+/// read bench/corpus/ and BENCH_PR7.json.
+
+#include "cli/bench.hpp"
+#include "gen/scenario.hpp"
+#include "net/blif.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+using namespace leq;
+
+std::string repo_file(const std::string& relative) {
+    const std::string path = std::string(LEQ_SOURCE_DIR) + "/" + relative;
+    std::ifstream in(path, std::ios::binary);
+    if (!in) { return {}; }
+    std::ostringstream text;
+    text << in.rdbuf();
+    return text.str();
+}
+
+/// A small synthetic report exercising one metric of every gated kind.
+bench_report make_base_report() {
+    bench_report report;
+    bench_row row;
+    row.workload = "solve/synthetic";
+    row.seconds = 1.5;
+    row.metrics = {{"cache_lookups", 100000.0},
+                   {"cache_hit_rate", 0.5},
+                   {"csf_states", 4.0},
+                   {"cache_entries", 262144.0}};
+    report.rows.push_back(row);
+    return report;
+}
+
+// ---------------------------------------------------------------------------
+// metric policies
+// ---------------------------------------------------------------------------
+
+TEST(bench_policy, directions_match_the_documented_gate) {
+    EXPECT_EQ(bench_metric_policy("seconds").direction,
+              metric_direction::info);
+    EXPECT_EQ(bench_metric_policy("cache_entries").direction,
+              metric_direction::info);
+    EXPECT_EQ(bench_metric_policy("cache_lookups").direction,
+              metric_direction::up_bad);
+    EXPECT_EQ(bench_metric_policy("gc_runs").direction,
+              metric_direction::up_bad);
+    EXPECT_EQ(bench_metric_policy("allocated_nodes").direction,
+              metric_direction::up_bad);
+    EXPECT_EQ(bench_metric_policy("cache_hit_rate").direction,
+              metric_direction::down_bad);
+    EXPECT_EQ(bench_metric_policy("csf_states").direction,
+              metric_direction::exact);
+    EXPECT_EQ(bench_metric_policy("reach_states").direction,
+              metric_direction::exact);
+    EXPECT_EQ(bench_metric_policy("batch_solved").direction,
+              metric_direction::exact);
+    // unknown names are recorded but never gated
+    EXPECT_EQ(bench_metric_policy("some_future_metric").direction,
+              metric_direction::info);
+}
+
+// ---------------------------------------------------------------------------
+// JSON round trip
+// ---------------------------------------------------------------------------
+
+TEST(bench_json, report_round_trips_through_json) {
+    const bench_report before = make_base_report();
+    const std::string json = bench_report_to_json(before);
+    const bench_report after = parse_bench_report(json);
+    EXPECT_EQ(after.schema, before.schema);
+    ASSERT_EQ(after.rows.size(), before.rows.size());
+    EXPECT_EQ(after.rows[0].workload, before.rows[0].workload);
+    EXPECT_DOUBLE_EQ(after.rows[0].seconds, before.rows[0].seconds);
+    ASSERT_EQ(after.rows[0].metrics.size(), before.rows[0].metrics.size());
+    for (std::size_t k = 0; k < before.rows[0].metrics.size(); ++k) {
+        EXPECT_EQ(after.rows[0].metrics[k].name,
+                  before.rows[0].metrics[k].name);
+        EXPECT_DOUBLE_EQ(after.rows[0].metrics[k].value,
+                         before.rows[0].metrics[k].value);
+    }
+    // serialization is byte-deterministic
+    EXPECT_EQ(bench_report_to_json(after), json);
+}
+
+TEST(bench_json, parser_rejects_garbage_and_wrong_schema) {
+    EXPECT_THROW((void)parse_bench_report("not json"), std::runtime_error);
+    EXPECT_THROW((void)parse_bench_report("{}"), std::runtime_error);
+    EXPECT_THROW((void)parse_bench_report(
+                     R"({"schema":"something-else","rows":[]})"),
+                 std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// the compare gate
+// ---------------------------------------------------------------------------
+
+TEST(bench_compare, identical_reports_pass) {
+    const bench_report base = make_base_report();
+    const bench_compare_result result = compare_bench_reports(base, base);
+    EXPECT_TRUE(result.ok()) << to_string(result);
+}
+
+TEST(bench_compare, small_drift_within_budget_passes) {
+    const bench_report base = make_base_report();
+    bench_report current = base;
+    current.rows[0].metrics[0].value = 105000.0; // +5% < 10% budget
+    current.rows[0].metrics[1].value = 0.49;     // -0.01 within slack
+    const bench_compare_result result = compare_bench_reports(base, current);
+    EXPECT_TRUE(result.ok()) << to_string(result);
+}
+
+TEST(bench_compare, up_bad_metric_over_budget_fails) {
+    const bench_report base = make_base_report();
+    bench_report current = base;
+    current.rows[0].metrics[0].value = 120000.0; // +20% cache lookups
+    const bench_compare_result result = compare_bench_reports(base, current);
+    ASSERT_EQ(result.regressions.size(), 1u) << to_string(result);
+    EXPECT_EQ(result.regressions[0].workload, "solve/synthetic");
+    EXPECT_EQ(result.regressions[0].metric, "cache_lookups");
+    EXPECT_NE(to_string(result).find("cache_lookups"), std::string::npos);
+}
+
+TEST(bench_compare, down_bad_metric_under_budget_fails) {
+    const bench_report base = make_base_report();
+    bench_report current = base;
+    current.rows[0].metrics[1].value = 0.3; // hit rate collapse
+    const bench_compare_result result = compare_bench_reports(base, current);
+    ASSERT_EQ(result.regressions.size(), 1u) << to_string(result);
+    EXPECT_EQ(result.regressions[0].metric, "cache_hit_rate");
+}
+
+TEST(bench_compare, exact_metric_drift_fails) {
+    const bench_report base = make_base_report();
+    bench_report current = base;
+    current.rows[0].metrics[2].value = 5.0; // csf_states is pinned
+    const bench_compare_result result = compare_bench_reports(base, current);
+    ASSERT_EQ(result.regressions.size(), 1u) << to_string(result);
+    EXPECT_EQ(result.regressions[0].metric, "csf_states");
+}
+
+TEST(bench_compare, info_metric_drift_is_ignored) {
+    const bench_report base = make_base_report();
+    bench_report current = base;
+    current.rows[0].seconds = 100.0;             // wall clock: never gated
+    current.rows[0].metrics[3].value = 1048576.0; // cache geometry: info
+    const bench_compare_result result = compare_bench_reports(base, current);
+    EXPECT_TRUE(result.ok()) << to_string(result);
+}
+
+TEST(bench_compare, lost_workload_coverage_fails) {
+    const bench_report base = make_base_report();
+    const bench_report current; // empty run
+    const bench_compare_result result = compare_bench_reports(base, current);
+    EXPECT_FALSE(result.ok());
+}
+
+TEST(bench_compare, lost_gated_metric_fails) {
+    const bench_report base = make_base_report();
+    bench_report current = base;
+    current.rows[0].metrics.erase(current.rows[0].metrics.begin()); // drop cache_lookups
+    const bench_compare_result result = compare_bench_reports(base, current);
+    EXPECT_FALSE(result.ok());
+}
+
+TEST(bench_compare, new_workload_is_a_note_not_a_failure) {
+    const bench_report base = make_base_report();
+    bench_report current = base;
+    bench_row extra;
+    extra.workload = "solve/new_coverage";
+    current.rows.push_back(extra);
+    const bench_compare_result result = compare_bench_reports(base, current);
+    EXPECT_TRUE(result.ok()) << to_string(result);
+    EXPECT_FALSE(result.notes.empty());
+}
+
+// ---------------------------------------------------------------------------
+// workloads
+// ---------------------------------------------------------------------------
+
+TEST(bench_workloads, ids_are_stable_and_unknown_ids_throw) {
+    const std::vector<std::string> names = bench_workload_names();
+    ASSERT_FALSE(names.empty());
+    for (const char* expected :
+         {"solve/counter_x256", "reach/mix26", "batch/families",
+          "cachefix/reach_mix26/before", "cachefix/reach_mix26/after"}) {
+        EXPECT_NE(std::find(names.begin(), names.end(), expected),
+                  names.end())
+            << expected;
+    }
+    EXPECT_THROW((void)run_bench_workload("no/such/workload"),
+                 std::invalid_argument);
+}
+
+TEST(bench_workloads, reach_workload_is_deterministic_across_runs) {
+    const bench_row first = run_bench_workload("reach/mix26");
+    const bench_row second = run_bench_workload("reach/mix26");
+    ASSERT_EQ(first.metrics.size(), second.metrics.size());
+    for (std::size_t k = 0; k < first.metrics.size(); ++k) {
+        EXPECT_EQ(first.metrics[k].name, second.metrics[k].name);
+        EXPECT_DOUBLE_EQ(first.metrics[k].value, second.metrics[k].value)
+            << first.metrics[k].name;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// gen scale semantics the workloads rely on
+// ---------------------------------------------------------------------------
+
+TEST(bench_gen_scale, scale_one_is_byte_identical_to_legacy_output) {
+    // fuzz reproducers and pinned baselines depend on scale=1 being the
+    // exact historical generator output, for every family
+    for (const scenario_family family : all_scenario_families) {
+        const scenario legacy = make_scenario(family, 5);
+        const scenario scaled = make_scenario(family, 5, 1);
+        EXPECT_EQ(legacy.name, scaled.name);
+        EXPECT_EQ(write_blif_string(legacy.fixed),
+                  write_blif_string(scaled.fixed))
+            << legacy.name;
+        EXPECT_EQ(write_blif_string(legacy.spec),
+                  write_blif_string(scaled.spec))
+            << legacy.name;
+    }
+}
+
+TEST(bench_gen_scale, scaling_grows_the_state_space) {
+    for (const scenario_family family : all_scenario_families) {
+        const scenario small = make_scenario(family, 5, 1);
+        const scenario big = make_scenario(family, 5, 16); // +4 state bits
+        EXPECT_GT(big.fixed.num_latches(), small.fixed.num_latches())
+            << small.name;
+        EXPECT_NE(big.name, small.name);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// checked-in artifacts
+// ---------------------------------------------------------------------------
+
+TEST(bench_artifacts, corpus_files_match_the_generators_byte_for_byte) {
+    const std::vector<bench_corpus_file> corpus = bench_corpus_files();
+    ASSERT_FALSE(corpus.empty());
+    for (const bench_corpus_file& file : corpus) {
+        const std::string checked_in = repo_file("bench/corpus/" + file.name);
+        ASSERT_FALSE(checked_in.empty())
+            << "bench/corpus/" << file.name
+            << " missing — regenerate with leq_bench_run --write-corpus";
+        EXPECT_EQ(checked_in, file.text)
+            << "bench/corpus/" << file.name
+            << " drifted — regenerate with leq_bench_run --write-corpus";
+    }
+}
+
+TEST(bench_artifacts, checked_in_baseline_parses_and_pins_the_cachefix) {
+    const std::string json = repo_file("BENCH_PR7.json");
+    ASSERT_FALSE(json.empty()) << "BENCH_PR7.json missing at the repo root";
+    const bench_report baseline = parse_bench_report(json);
+    EXPECT_EQ(baseline.schema, "leq-bench-v1");
+
+    // every pinned workload is present...
+    for (const std::string& name : bench_workload_names()) {
+        const auto at = std::find_if(
+            baseline.rows.begin(), baseline.rows.end(),
+            [&name](const bench_row& row) { return row.workload == name; });
+        EXPECT_NE(at, baseline.rows.end()) << name;
+    }
+
+    // ...and the before/after rows still show the cache fix paying off
+    const auto row = [&baseline](const char* name) -> const bench_row* {
+        const auto at = std::find_if(
+            baseline.rows.begin(), baseline.rows.end(),
+            [name](const bench_row& r) { return r.workload == name; });
+        return at == baseline.rows.end() ? nullptr : &*at;
+    };
+    const bench_row* before = row("cachefix/reach_mix26/before");
+    const bench_row* after = row("cachefix/reach_mix26/after");
+    ASSERT_NE(before, nullptr);
+    ASSERT_NE(after, nullptr);
+    const bench_metric* before_rate = before->find("cache_hit_rate");
+    const bench_metric* after_rate = after->find("cache_hit_rate");
+    ASSERT_NE(before_rate, nullptr);
+    ASSERT_NE(after_rate, nullptr);
+    EXPECT_GT(after_rate->value, before_rate->value)
+        << "the baseline no longer demonstrates the cache-sizing win";
+}
+
+} // namespace

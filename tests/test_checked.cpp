@@ -14,6 +14,7 @@
 
 #ifdef LEQ_CHECKED
 
+#include <cstring>
 #include <thread>
 
 namespace {
@@ -95,6 +96,23 @@ TEST_F(checked_death, off_thread_handle_release_aborts) {
             intruder.join();
         },
         "off-thread bdd_manager call.*release");
+}
+
+TEST_F(checked_death, handle_release_underflow_aborts_with_diagnostic) {
+    EXPECT_DEATH(
+        {
+            bdd_manager mgr(4);
+            {
+                bdd f = mgr.var(0) & mgr.var(1);
+                // a bitwise duplicate bypasses bdd's reference counting:
+                // destroying it releases f's one external reference, and
+                // f's own destructor then underflows the count
+                alignas(bdd) unsigned char raw[sizeof(bdd)];
+                std::memcpy(raw, static_cast<const void*>(&f), sizeof(bdd));
+                reinterpret_cast<bdd*>(raw)->~bdd();
+            }
+        },
+        "release underflow.*released twice");
 }
 
 TEST(checked_build, one_manager_per_thread_is_legal) {

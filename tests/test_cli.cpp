@@ -226,6 +226,61 @@ TEST(cli_solve, gen_spec_generates_and_solves) {
     EXPECT_EQ(raw_field(line, "status"), "\"ok\"");
 }
 
+TEST(cli_solve, gen_spec_scale_suffix_grows_the_instance) {
+    const cli_run r = run({"solve", "gen:counter:7:8"});
+    EXPECT_EQ(r.exit_code, 0) << r.err;
+    const std::string line = first_line(r.out);
+    EXPECT_TRUE(valid_json_object(line)) << line;
+    EXPECT_EQ(raw_field(line, "name"), "\"counter:7:8\"");
+    EXPECT_EQ(raw_field(line, "status"), "\"ok\"");
+    // scale 8 adds three counter bits over the scale-1 instance, so the
+    // candidate space is strictly larger
+    const cli_run base = run({"solve", "gen:counter:7"});
+    EXPECT_EQ(base.exit_code, 0) << base.err;
+    EXPECT_NE(raw_field(first_line(base.out), "subset_states"),
+              raw_field(line, "subset_states"));
+}
+
+TEST(cli_solve, memory_flags_reach_the_bdd_manager) {
+    const cli_run r =
+        run({"solve", example("passthrough_f.kiss"),
+             example("passthrough_s.kiss"), "--cache-bits", "12",
+             "--max-cache-bits", "14", "--gc-threshold", "20000",
+             "--no-timing"});
+    EXPECT_EQ(r.exit_code, 0) << r.err;
+    const std::string line = first_line(r.out);
+    EXPECT_TRUE(valid_json_object(line)) << line;
+    EXPECT_EQ(raw_field(line, "cache_bits"), "12");
+    EXPECT_EQ(raw_field(line, "max_cache_bits"), "14");
+    EXPECT_EQ(raw_field(line, "gc_threshold"), "20000");
+}
+
+TEST(cli_solve, cache_bits_flag_raises_the_cap_when_needed) {
+    // --cache-bits above the default cap must lift max_cache_bits with it
+    const cli_run r = run({"solve", example("passthrough_f.kiss"),
+                           example("passthrough_s.kiss"), "--cache-bits",
+                           "26", "--no-timing"});
+    EXPECT_EQ(r.exit_code, 0) << r.err;
+    const std::string line = first_line(r.out);
+    EXPECT_EQ(raw_field(line, "cache_bits"), "26");
+    EXPECT_EQ(raw_field(line, "max_cache_bits"), "26");
+}
+
+TEST(cli_errors, memory_flags_reject_bad_values) {
+    EXPECT_EQ(run({"solve", "--cache-bits", "31"}).exit_code, 2);
+    EXPECT_EQ(run({"solve", "--cache-bits", "7"}).exit_code, 2);
+    EXPECT_EQ(run({"solve", "--cache-bits", "abc"}).exit_code, 2);
+    EXPECT_EQ(run({"solve", "--max-cache-bits", "31"}).exit_code, 2);
+    EXPECT_EQ(run({"solve", "--gc-threshold", "2k"}).exit_code, 2);
+    EXPECT_EQ(run({"solve", "--cache-bits"}).exit_code, 2);
+}
+
+TEST(cli_errors, gen_spec_rejects_bad_scale) {
+    EXPECT_NE(run({"solve", "gen:counter:2:x"}).exit_code, 0);
+    EXPECT_NE(run({"solve", "gen:counter:2:0"}).exit_code, 0);
+    EXPECT_NE(run({"solve", "gen:counter:2:8:9"}).exit_code, 0);
+}
+
 // ---------------------------------------------------------------------------
 // verify / diagnose / reduce
 // ---------------------------------------------------------------------------
