@@ -16,6 +16,13 @@
 
 namespace leq {
 
+const char* bdd_op_name(std::size_t k) {
+    static const char* const names[bdd_num_ops] = {
+        "and",     "xor",      "ite",       "exists", "and_exists",
+        "support", "cofactor", "constrain", "restrict"};
+    return k < bdd_num_ops ? names[k] : "?";
+}
+
 // ---------------------------------------------------------------------------
 // checked-build provenance (LEQ_CHECKED)
 // ---------------------------------------------------------------------------
@@ -167,16 +174,25 @@ bdd_manager::bdd_manager(std::uint32_t num_vars,
     opts_.max_cache_bits =
         std::min(std::max(opts_.max_cache_bits, opts_.cache_bits), 30u);
     opts_.gc_threshold = std::max<std::size_t>(opts_.gc_threshold, 1u << 10);
+    // associativity: a power of two in 1..16 (round down); the 8-bit floor
+    // on cache_bits guarantees at least 2^8/16 = 16 buckets
+    opts_.cache_ways = std::min(std::max(opts_.cache_ways, 1u), 16u);
+    while ((opts_.cache_ways & (opts_.cache_ways - 1)) != 0) {
+        opts_.cache_ways &= opts_.cache_ways - 1;
+    }
+    cache_ways_ = opts_.cache_ways;
     gc_threshold_ = opts_.gc_threshold;
     nodes_.reserve(1u << 12);
     // node 0: the single terminal, denoting FALSE as a regular reference
     // (reference 0 = FALSE, reference 1 = TRUE)
-    nodes_.push_back({var_nil, 0, 0, idx_nil});
+    nodes_.push_back({var_nil, 0, 0});
+    chain_.assign(1, idx_nil);
     ext_ref_.assign(1, 1); // the terminal is permanently live
     buckets_.assign(1u << 12, idx_nil);
     cache_.assign(std::size_t{1} << opts_.cache_bits, cache_entry{});
-    cache_mask_ = (std::uint64_t{1} << opts_.cache_bits) - 1;
+    cache_bucket_mask_ = cache_.size() / cache_ways_ - 1;
     stats_.cache_entries = cache_.size();
+    stats_.cache_ways = cache_ways_;
     stats_.gc_threshold = gc_threshold_;
     for (std::uint32_t v = 0; v < num_vars; ++v) { new_var(); }
 }
@@ -216,14 +232,19 @@ std::uint32_t bdd_manager::mk(std::uint32_t var, std::uint32_t lo,
     lo ^= out;
     hi ^= out;
     const std::uint64_t h = node_hash(var, lo, hi) & (buckets_.size() - 1);
-    for (std::uint32_t i = buckets_[h]; i != idx_nil; i = nodes_[i].next) {
+    for (std::uint32_t i = buckets_[h]; i != idx_nil; i = chain_[i]) {
         const node& n = nodes_[i];
+        // overlap the next link's node fetch with this key comparison: chain
+        // hops are the data-dependent loads this loop stalls on
+        const std::uint32_t next = chain_[i];
+        if (next != idx_nil) { prefetch(&nodes_[next]); }
         if (n.var == var && n.lo == lo && n.hi == hi) { return (i << 1) | out; }
     }
     const std::uint32_t idx = alloc_node();
     // alloc_node may have rehashed (grown) the table: recompute the bucket
     const std::uint64_t h2 = node_hash(var, lo, hi) & (buckets_.size() - 1);
-    nodes_[idx] = {var, lo, hi, buckets_[h2]};
+    nodes_[idx] = {var, lo, hi};
+    chain_[idx] = buckets_[h2];
     buckets_[h2] = idx;
     return (idx << 1) | out;
 }
@@ -247,6 +268,7 @@ std::uint32_t bdd_manager::alloc_node() {
     // overwrites its `next` pointer
     if (nodes_.size() + 1 > buckets_.size()) { rehash(buckets_.size() * 2); }
     nodes_.push_back({});
+    chain_.push_back(idx_nil);
     ext_ref_.push_back(0);
     return idx;
 }
@@ -254,7 +276,7 @@ std::uint32_t bdd_manager::alloc_node() {
 void bdd_manager::unique_insert(std::uint32_t idx) {
     const node& n = nodes_[idx];
     const std::uint64_t h = node_hash(n.var, n.lo, n.hi) & (buckets_.size() - 1);
-    nodes_[idx].next = buckets_[h];
+    chain_[idx] = buckets_[h];
     buckets_[h] = idx;
 }
 
@@ -277,12 +299,26 @@ void bdd_manager::maybe_grow_cache() {
     // keep at least two cache slots per table bucket, up to the ceiling
     while (target < 2 * buckets_.size() && target < limit) { target *= 2; }
     if (target == cache_.size()) { return; }
-    // clear-on-grow: a slot index depends on the mask, so the old entries
-    // would be unreachable under the new one anyway; entries are pure memo,
-    // and dropping them mid-operation merely recomputes (growth happens at
-    // most max_cache_bits - cache_bits times per manager lifetime)
+    // rehash-migrate: a bucket index depends on the mask, so every surviving
+    // entry is re-slotted under the new geometry.  Growth happens right when
+    // the workload is deepest — discarding the memo there (the historical
+    // clear-on-grow) forced exactly the recomputation the bigger cache was
+    // bought to avoid.  Entries keep their age stamps; only same-bucket
+    // collisions beyond the ways can drop entries, deterministically.
+    std::vector<cache_entry> old;
+    old.swap(cache_);
     cache_.assign(target, cache_entry{});
-    cache_mask_ = static_cast<std::uint64_t>(target) - 1;
+    cache_bucket_mask_ = static_cast<std::uint64_t>(target / cache_ways_) - 1;
+    // walk each old bucket's ways in reverse so move-to-front insertion
+    // reconstructs the same recency order in the new geometry
+    for (std::size_t b = 0; b < old.size(); b += cache_ways_) {
+        for (std::uint32_t w = cache_ways_; w > 0; --w) {
+            const cache_entry& e = old[b + w - 1];
+            if (e.o == 0xff) { continue; }
+            cache_insert(cache_bucket(static_cast<op>(e.o), e.f, e.g, e.h),
+                         e);
+        }
+    }
     ++stats_.cache_resizes;
     stats_.cache_entries = target;
 }
@@ -323,9 +359,9 @@ void bdd_manager::maybe_gc_or_grow() {
     if (opts_.adaptive_gc) {
         // scale-aware trigger: let the live set double before the next
         // collection, but never collect before the dead fraction is worth
-        // the sweep — each GC walks the whole arena and clears the
-        // computed cache, so firing every `floor` allocations on a 100k+
-        // node arena thrashes the cache for nothing.  An unproductive GC
+        // the sweep — each GC walks the whole arena and ages the computed
+        // cache, so firing every `floor` allocations on a 100k+
+        // node arena churns the memo for nothing.  An unproductive GC
         // (everything survived) raises the bar exactly as far as the
         // survivors demand; a productive one drops it back toward
         // max(floor, arena/2) — the historical fixed doubling ratcheted
@@ -343,23 +379,29 @@ void bdd_manager::maybe_gc_or_grow() {
 void bdd_manager::collect_garbage() {
     checked_guard("collect_garbage");
     ++stats_.gc_runs;
+    // mark: one explicit worklist over all roots at once.  The ext-ref roots
+    // are seeded in arena order in a single linear sweep before any marking,
+    // so the root scan streams through ext_ref_ instead of alternating
+    // between the root array and pointer-chasing DFS per root; the worklist
+    // (a member, so its capacity is reused across collections) bounds the
+    // traversal depth by the arena, never by the C++ stack.
     mark_.assign(nodes_.size(), 0);
     mark_[0] = 1;
-    std::vector<std::uint32_t> stack; // node indices
+    gc_worklist_.clear();
     for (std::uint32_t i = 1; i < nodes_.size(); ++i) {
-        if (ext_ref_[i] > 0 && !mark_[i]) {
-            stack.push_back(i);
+        if (ext_ref_[i] > 0) {
             mark_[i] = 1;
-            while (!stack.empty()) {
-                const std::uint32_t n = stack.back();
-                stack.pop_back();
-                for (const std::uint32_t edge : {nodes_[n].lo, nodes_[n].hi}) {
-                    const std::uint32_t c = node_of(edge);
-                    if (!mark_[c]) {
-                        mark_[c] = 1;
-                        stack.push_back(c);
-                    }
-                }
+            gc_worklist_.push_back(i);
+        }
+    }
+    while (!gc_worklist_.empty()) {
+        const std::uint32_t n = gc_worklist_.back();
+        gc_worklist_.pop_back();
+        for (const std::uint32_t edge : {nodes_[n].lo, nodes_[n].hi}) {
+            const std::uint32_t c = node_of(edge);
+            if (!mark_[c]) {
+                mark_[c] = 1;
+                gc_worklist_.push_back(c);
             }
         }
     }
@@ -377,7 +419,11 @@ void bdd_manager::collect_garbage() {
     }
     stats_.live_nodes = live;
     stats_.allocated_nodes = nodes_.size();
-    cache_clear();
+    if (opts_.cache_age_on_gc) {
+        cache_age_and_purge();
+    } else {
+        cache_clear();
+    }
 }
 
 std::size_t bdd_manager::live_node_count() {
@@ -390,25 +436,112 @@ std::size_t bdd_manager::live_node_count() {
 // computed cache
 // ---------------------------------------------------------------------------
 
+bdd_manager::cache_entry* bdd_manager::cache_bucket(op o, std::uint32_t f,
+                                                    std::uint32_t g,
+                                                    std::uint32_t h) {
+    const std::uint64_t bucket =
+        node_hash((static_cast<std::uint64_t>(o) << 32) | f, g, h) &
+        cache_bucket_mask_;
+    cache_entry* e = &cache_[bucket * cache_ways_];
+    if (cache_ways_ * sizeof(cache_entry) > 64) {
+        // a 4-way bucket spans two cache lines: start the second line's
+        // fetch while the first ways are compared
+        prefetch(reinterpret_cast<const char*>(e) + 64);
+    }
+    return e;
+}
+
+void bdd_manager::cache_insert(cache_entry* bucket,
+                               const cache_entry& entry) {
+    // pick the slot: same key first (keeps a bucket duplicate-free), else
+    // the first empty way, else evict by age.  Between collections every
+    // live entry carries the current epoch, so the age distance alone
+    // cannot rank them — move-to-front keeps way order as recency order,
+    // making "highest way among the oldest" exactly the LRU victim.  All
+    // choices are functions of bucket state only: fully deterministic.
+    std::uint32_t target = cache_ways_ - 1;
+    std::uint8_t oldest_distance = 0;
+    for (std::uint32_t w = 0; w < cache_ways_; ++w) {
+        cache_entry& e = bucket[w];
+        if (e.o == entry.o && e.f == entry.f && e.g == entry.g &&
+            e.h == entry.h) {
+            target = w;
+            break;
+        }
+        if (e.o == 0xff) {
+            target = w;
+            break;
+        }
+        const auto distance = static_cast<std::uint8_t>(cache_epoch_ - e.age);
+        if (distance >= oldest_distance) {
+            oldest_distance = distance;
+            target = w;
+        }
+    }
+    // rotate the prefix down one way and put the new entry in front
+    for (std::uint32_t w = target; w > 0; --w) { bucket[w] = bucket[w - 1]; }
+    bucket[0] = entry;
+}
+
 bool bdd_manager::cache_lookup(op o, std::uint32_t f, std::uint32_t g,
                                std::uint32_t h, std::uint32_t& result) {
     ++stats_.cache_lookups;
-    const std::uint64_t slot =
-        node_hash((static_cast<std::uint64_t>(o) << 32) | f, g, h) & cache_mask_;
-    const cache_entry& e = cache_[slot];
-    if (e.f == f && e.g == g && e.h == h && e.o == static_cast<std::uint8_t>(o)) {
-        result = e.result;
-        ++stats_.cache_hits;
-        return true;
+    ++stats_.op_lookups[static_cast<std::size_t>(o)];
+    cache_entry* bucket = cache_bucket(o, f, g, h);
+    for (std::uint32_t w = 0; w < cache_ways_; ++w) {
+        if (bucket[w].f == f && bucket[w].g == g && bucket[w].h == h &&
+            bucket[w].o == static_cast<std::uint8_t>(o)) {
+            // a hit entry is earning its slot: refresh the age stamp and
+            // rotate it to the front so way order tracks recency
+            cache_entry hit = bucket[w];
+            hit.age = cache_epoch_;
+            for (std::uint32_t v = w; v > 0; --v) {
+                bucket[v] = bucket[v - 1];
+            }
+            bucket[0] = hit;
+            result = hit.result;
+            ++stats_.cache_hits;
+            ++stats_.op_hits[static_cast<std::size_t>(o)];
+            return true;
+        }
     }
     return false;
 }
 
 void bdd_manager::cache_store(op o, std::uint32_t f, std::uint32_t g,
                               std::uint32_t h, std::uint32_t result) {
-    const std::uint64_t slot =
-        node_hash((static_cast<std::uint64_t>(o) << 32) | f, g, h) & cache_mask_;
-    cache_[slot] = {f, g, h, result, static_cast<std::uint8_t>(o)};
+    cache_insert(cache_bucket(o, f, g, h),
+                 {f, g, h, result, static_cast<std::uint8_t>(o),
+                  cache_epoch_});
+}
+
+void bdd_manager::cache_age_and_purge() {
+    // advance the epoch so pre-GC entries age relative to post-GC stores,
+    // then purge exactly the entries that reference a swept node: those
+    // indices return through free_list_, and a surviving entry would alias
+    // whatever unrelated node is allocated there next.  Everything keyed on
+    // live nodes stays — results are canonical references, so the memo is
+    // still correct after the sweep.
+    ++cache_epoch_;
+    for (std::size_t b = 0; b < cache_.size(); b += cache_ways_) {
+        // compact each bucket's survivors toward way 0 (preserving their
+        // order) so the move-to-front invariant — way order is recency
+        // order, empties at the tail — holds across the purge
+        std::uint32_t keep = 0;
+        for (std::uint32_t w = 0; w < cache_ways_; ++w) {
+            const cache_entry e = cache_[b + w];
+            if (e.o == 0xff) { continue; }
+            if (!mark_[node_of(e.f)] || !mark_[node_of(e.g)] ||
+                !mark_[node_of(e.h)] || !mark_[node_of(e.result)]) {
+                continue;
+            }
+            cache_[b + keep] = e;
+            ++keep;
+        }
+        for (; keep < cache_ways_; ++keep) {
+            cache_[b + keep] = cache_entry{};
+        }
+    }
 }
 
 void bdd_manager::cache_clear() {

@@ -3,7 +3,7 @@
 /// for CUDD in this build).
 ///
 /// The package implements reduced ordered binary decision diagrams with
-/// complement edges, a unique table, a direct-mapped computed cache that
+/// complement edges, a unique table, a set-associative computed cache that
 /// grows geometrically with the unique table (see bdd_manager_options),
 /// mark-and-sweep garbage collection driven by externally held handles,
 /// quantification, relational-product (and-exists), variable permutation,
@@ -57,6 +57,7 @@
 ///    to nothing in normal builds.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -134,6 +135,16 @@ private:
     std::uint32_t idx_ = 0;
 };
 
+/// Number of distinct cached operation kinds; indexes the per-op counters
+/// in bdd_stats (and_op, xor_op, ite_op, exists_op, and_exists_op,
+/// support_op, cofactor_op, constrain_op, restrict_op — in that order).
+inline constexpr std::size_t bdd_num_ops = 9;
+
+/// Stable short name of cached operation kind k ("and", "xor", "ite",
+/// "exists", "and_exists", "support", "cofactor", "constrain", "restrict");
+/// "?" for out-of-range k.
+[[nodiscard]] const char* bdd_op_name(std::size_t k);
+
 /// Statistics snapshot for diagnostics and benchmarking.
 struct bdd_stats {
     std::size_t live_nodes = 0;     ///< nodes reachable from external roots
@@ -146,6 +157,11 @@ struct bdd_stats {
     std::size_t cache_entries = 0;  ///< current computed-cache slots
     std::size_t cache_resizes = 0;  ///< computed-cache growth events
     std::size_t gc_threshold = 0;   ///< current allocated-node GC trigger
+    std::size_t cache_ways = 0;     ///< computed-cache associativity
+    /// Per-operation split of cache_lookups/cache_hits (indexed by the
+    /// bdd_op_name order): which recursion is thrashing the cache.
+    std::array<std::size_t, bdd_num_ops> op_lookups{};
+    std::array<std::size_t, bdd_num_ops> op_hits{};
 };
 
 /// Construction-time tuning of a manager's memory discipline: computed-cache
@@ -157,12 +173,26 @@ struct bdd_manager_options {
     /// log2 of the initial computed-cache size.
     unsigned cache_bits = 18;
     /// log2 ceiling for computed-cache growth.  The cache tracks the unique
-    /// table geometrically — at least two direct-mapped slots per table
-    /// bucket, doubling whenever the table outgrows it (clear-on-grow, so
-    /// lookups stay a single masked probe) — until it reaches
+    /// table geometrically — at least two slots per table bucket, doubling
+    /// whenever the table outgrows it (surviving entries are rehash-migrated
+    /// into the larger geometry, not discarded) — until it reaches
     /// 2^max_cache_bits.  max_cache_bits == cache_bits pins the historical
     /// fixed-size cache that never resized after construction.
     unsigned max_cache_bits = 24;
+    /// Computed-cache associativity: slots per set-associative bucket.
+    /// Clamped to a power of two in 1..16 (rounded down); 1 reproduces the
+    /// historical direct-mapped cache.  Replacement is deterministic
+    /// move-to-front LRU (same-key overwrite, else first empty slot, else
+    /// the least recently touched entry), with GC-epoch age stamps deciding
+    /// staleness across collections.
+    unsigned cache_ways = 4;
+    /// Age the computed cache across garbage collections (purge only the
+    /// entries whose key or result references a swept node; everything else
+    /// survives with an older age stamp).  When false every collection
+    /// clears the whole cache — the historical discipline, kept
+    /// reconstructible so the bench's before/after rows can measure what
+    /// aging buys.
+    bool cache_age_on_gc = true;
     /// Allocated-node count that triggers the first garbage collection;
     /// also the floor the adaptive trigger never drops below.
     std::size_t gc_threshold = std::size_t{1} << 14;
@@ -298,7 +328,7 @@ public:
     // they are offered for the substrate benchmarks and for standalone use of
     // the package.  The computed cache survives: references keep their
     // denotation, and dead nodes are only reclaimed by the final collection,
-    // which clears the cache.
+    // which purges exactly the entries that referenced them.
 
     /// One full sifting pass (Rudell): each variable, in decreasing order of
     /// node count, is moved through all levels by adjacent swaps and left at
@@ -383,12 +413,14 @@ private:
 
     /// Arena node.  `lo`/`hi` are tagged references; the canonical-form
     /// invariant keeps `hi` regular (complement bit clear) for every node
-    /// stored in the unique table.
+    /// stored in the unique table.  The unique-table chain link lives in the
+    /// parallel `chain_` array so the traversal-hot triple stays 12 bytes —
+    /// recursion cores touch `{var, lo, hi}` constantly and the chain link
+    /// only on unique-table probes.
     struct node {
         std::uint32_t var;  ///< variable id; var_nil for the terminal
         std::uint32_t lo;   ///< else-edge reference (var = 0)
         std::uint32_t hi;   ///< then-edge reference (var = 1), always regular
-        std::uint32_t next; ///< unique-table chain
     };
     static constexpr std::uint32_t var_nil = 0xffffffffu;
     static constexpr std::uint32_t idx_nil = 0xffffffffu;
@@ -397,14 +429,31 @@ private:
         and_op, xor_op, ite_op, exists_op, and_exists_op, support_op,
         cofactor_op, constrain_op, restrict_op
     };
+    static_assert(static_cast<std::size_t>(op::restrict_op) + 1 == bdd_num_ops,
+                  "bdd_num_ops must match the cached-op enum");
 
+    /// One computed-cache slot.  Slots are grouped into `cache_ways_`-entry
+    /// set-associative buckets stored contiguously, so a 4-way bucket spans
+    /// at most two cache lines.  `o == 0xff` marks an empty slot; `age` is
+    /// the GC epoch the entry was stored (or last hit) in — replacement
+    /// evicts the slot with the largest epoch distance.
     struct cache_entry {
         std::uint32_t f = idx_nil;
         std::uint32_t g = idx_nil;
         std::uint32_t h = idx_nil;
         std::uint32_t result = idx_nil;
         std::uint8_t o = 0xff;
+        std::uint8_t age = 0;
     };
+
+    /// Hint the hardware prefetcher at a probe target (no-op off GCC/Clang).
+    static inline void prefetch(const void* p) {
+#if defined(__GNUC__) || defined(__clang__)
+        __builtin_prefetch(p);
+#else
+        (void)p;
+#endif
+    }
 
     // ---- tagged-reference helpers ---------------------------------------
     /// Node index addressed by a reference.
@@ -480,12 +529,26 @@ private:
     void inc_ext_ref(std::uint32_t ref);
     void dec_ext_ref(std::uint32_t ref);
 
-    // computed cache
+    // computed cache (set-associative, age-stamped)
     bool cache_lookup(op o, std::uint32_t f, std::uint32_t g, std::uint32_t h,
                       std::uint32_t& result);
     void cache_store(op o, std::uint32_t f, std::uint32_t g, std::uint32_t h,
                      std::uint32_t result);
     void cache_clear();
+    /// First slot of the bucket the (o,f,g,h) key hashes to.
+    [[nodiscard]] cache_entry* cache_bucket(op o, std::uint32_t f,
+                                            std::uint32_t g, std::uint32_t h);
+    /// Deterministic replacement with move-to-front recency: overwrite a
+    /// same-key slot, else fill the first empty slot, else evict the entry
+    /// touched the most GC epochs ago (highest way on ties — under
+    /// move-to-front, way order *is* recency order within an epoch), then
+    /// rotate the written entry to way 0.
+    void cache_insert(cache_entry* bucket, const cache_entry& entry);
+    /// GC epilogue: advance the age epoch and purge only the entries that
+    /// reference swept nodes (their indices are about to be recycled via
+    /// free_list_, so a stale entry would alias a future unrelated node).
+    /// Entries over live nodes survive — that is what buys cross-GC hits.
+    void cache_age_and_purge();
 
     // recursive cores (tagged references; protected from GC because GC only
     // runs between public operations)
@@ -537,17 +600,21 @@ private:
 
     // data
     std::vector<node> nodes_;              ///< arena; node 0 is the terminal
+    std::vector<std::uint32_t> chain_;     ///< unique-table chain per node
     std::vector<std::uint32_t> ext_ref_;   ///< external refs per node
     std::vector<std::uint32_t> free_list_;
     std::vector<std::uint32_t> buckets_;   ///< unique table (power of two)
-    std::vector<cache_entry> cache_;
-    std::uint64_t cache_mask_ = 0;
+    std::vector<cache_entry> cache_;       ///< ways-entry buckets, contiguous
+    std::uint64_t cache_bucket_mask_ = 0;  ///< bucket count - 1
+    std::uint32_t cache_ways_ = 4;         ///< clamped associativity
+    std::uint8_t cache_epoch_ = 0;         ///< age epoch; advances per GC
     std::vector<std::uint32_t> var2level_;
     std::vector<std::uint32_t> level2var_;
     bdd_manager_options opts_;
     std::size_t gc_threshold_ = std::size_t{1} << 14;
     bdd_stats stats_;
     std::vector<char> mark_; ///< scratch for GC / traversals
+    std::vector<std::uint32_t> gc_worklist_; ///< reused GC mark worklist
 
     // live only during a reordering call
     std::vector<std::uint32_t> rc_;                    ///< internal ref counts

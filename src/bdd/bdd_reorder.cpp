@@ -27,6 +27,7 @@
 #include <numeric>
 #include <set>
 #include <stdexcept>
+#include <string>
 
 namespace leq {
 
@@ -40,10 +41,10 @@ void bdd_manager::unique_remove(std::uint32_t idx) {
     std::uint32_t* link = &buckets_[hh & (buckets_.size() - 1)];
     while (*link != idx_nil) {
         if (*link == idx) {
-            *link = nodes_[idx].next;
+            *link = chain_[idx];
             return;
         }
-        link = &nodes_[*link].next;
+        link = &chain_[*link];
     }
     assert(false && "unique_remove: node not in table");
 }
@@ -88,7 +89,7 @@ std::uint32_t bdd_manager::reorder_mk(std::uint32_t var, std::uint32_t lo,
 }
 
 void bdd_manager::reorder_begin() {
-    collect_garbage(); // start from live-only arena; also clears the cache
+    collect_garbage(); // start from live-only arena; ages/purges the cache
     rc_.assign(nodes_.size(), 0);
     var_nodes_.assign(num_vars(), {});
     alive_ = 0;
@@ -103,7 +104,8 @@ void bdd_manager::reorder_begin() {
 void bdd_manager::reorder_end() {
     rc_.clear();
     var_nodes_.clear();
-    collect_garbage(); // reclaim reorder garbage; rebuilds table, clears cache
+    collect_garbage(); // reclaim reorder garbage; rebuilds table, purges the
+                       // cache entries that referenced it
     ++stats_.reorderings;
 }
 
@@ -433,8 +435,17 @@ void bdd_manager::check_consistency() const {
     checked_guard("check_consistency");
     std::set<std::array<std::uint32_t, 3>> keys;
     std::vector<char> in_table(nodes_.size(), 0);
+    // unique-table health: bucket-chain length histogram.  The table never
+    // exceeds load factor 1 (the arena rehashes before outgrowing the
+    // buckets), so with a healthy hash the longest chain stays logarithmic;
+    // a pathological chain means the hash or the split chain_ array
+    // regressed — catch it here before it shows up as bench noise.
+    std::vector<std::size_t> chain_histogram;
+    std::size_t max_chain = 0;
     for (const std::uint32_t head : buckets_) {
-        for (std::uint32_t i = head; i != idx_nil; i = nodes_[i].next) {
+        std::size_t chain_len = 0;
+        for (std::uint32_t i = head; i != idx_nil; i = chain_[i]) {
+            ++chain_len;
             const node& n = nodes_[i];
             if (in_table[i]) {
                 throw std::logic_error("bdd: node linked twice in table");
@@ -465,6 +476,21 @@ void bdd_manager::check_consistency() const {
                 throw std::logic_error("bdd: duplicate (var,lo,hi) in table");
             }
         }
+        if (chain_len >= chain_histogram.size()) {
+            chain_histogram.resize(chain_len + 1, 0);
+        }
+        ++chain_histogram[chain_len];
+        max_chain = std::max(max_chain, chain_len);
+    }
+    // at load factor <= 1 a uniform hash keeps the expected longest chain
+    // around ln(n)/ln(ln(n)); 32 is far above that for any table this
+    // manager can hold, so tripping it means node_hash degraded
+    constexpr std::size_t max_healthy_chain = 32;
+    if (max_chain > max_healthy_chain) {
+        throw std::logic_error("bdd: unique-table chain exceeds health bound (" +
+                               std::to_string(max_chain) + " > " +
+                               std::to_string(max_healthy_chain) +
+                               "), hash quality regressed");
     }
     // every node reachable from an externally referenced root must be
     // findable through the table — this is what catches bucket-chain

@@ -53,17 +53,36 @@ void add_manager_metrics(bench_row& row, bdd_manager& mgr) {
     add(row, "live_nodes", static_cast<double>(stats.live_nodes));
     add(row, "cache_entries", static_cast<double>(stats.cache_entries));
     add(row, "cache_resizes", static_cast<double>(stats.cache_resizes));
+    add(row, "cache_ways", static_cast<double>(stats.cache_ways));
 }
 
-/// The historical memory discipline, reconstructed: a computed cache that
-/// never resizes and the fixed-doubling GC trigger.  `cache_bits` 22 is
-/// what `equation_problem` hardcoded before the options plumbing; 18 is
-/// what a default-constructed manager got.
+/// The historical memory discipline, reconstructed: a direct-mapped
+/// computed cache that never resizes and the fixed-doubling GC trigger.
+/// `cache_bits` 22 is what `equation_problem` hardcoded before the options
+/// plumbing; 18 is what a default-constructed manager got.
 bdd_manager_options before_options(unsigned cache_bits) {
     bdd_manager_options mem;
     mem.cache_bits = cache_bits;
     mem.max_cache_bits = cache_bits;
     mem.adaptive_gc = false;
+    mem.cache_ways = 1;
+    return mem;
+}
+
+/// The `cacheways/*` discipline: the historical sizing and GC policy
+/// (fixed cache, fixed-doubling trigger) with the trigger floor lowered to
+/// 2^11 nodes — a deliberately collection-heavy regime, because what a
+/// collection does to the memo is exactly what these rows measure.  The
+/// before/after pair then varies only the PR's cache changes: "before" is
+/// the historical cache — single-slot buckets, cleared at every
+/// collection; "after" is the default 4-way bucket that ages across
+/// collections.
+bdd_manager_options ways_options(unsigned cache_bits, unsigned ways,
+                                 bool age_on_gc) {
+    bdd_manager_options mem = before_options(cache_bits);
+    mem.gc_threshold = std::size_t{1} << 11;
+    mem.cache_ways = ways;
+    mem.cache_age_on_gc = age_on_gc;
     return mem;
 }
 
@@ -147,8 +166,10 @@ bench_row run_reach(const std::string& id, const bdd_manager_options& mem) {
 
 /// The mixed batch campaign: every family, three seeds, two workers (the
 /// shared-nothing pool makes the summed per-job counters deterministic
-/// regardless of worker count).
-bench_row run_batch_workload(const std::string& id) {
+/// regardless of worker count).  Per-job cache traffic — every worker has
+/// its own manager — is summed from the per-record solve stats.
+bench_row run_batch_workload(const std::string& id,
+                             const bdd_manager_options& mem) {
     bench_row row;
     row.workload = id;
     std::vector<batch_job> jobs;
@@ -169,21 +190,29 @@ bench_row run_batch_workload(const std::string& id) {
     batch_options options;
     options.jobs = 2;
     options.config.timing = false;
+    options.config.solve.mem = mem;
     const batch_report report = run_batch(jobs, options);
     if (report.errors != 0 || report.gave_up != 0) {
         throw std::runtime_error("bench workload " + id + " had failures");
     }
     double subset_states = 0.0;
     double csf_states = 0.0;
+    double cache_lookups = 0.0;
+    double cache_hits = 0.0;
     for (const solve_record& record : report.records) {
         subset_states +=
             static_cast<double>(record.result.subset_states_explored);
         csf_states += static_cast<double>(record.result.csf_states);
+        cache_lookups += static_cast<double>(record.result.stats.cache_lookups);
+        cache_hits += static_cast<double>(record.result.stats.cache_hits);
     }
     add(row, "batch_solved", static_cast<double>(report.solved));
     add(row, "batch_empty", static_cast<double>(report.empty));
     add(row, "subset_states", subset_states);
     add(row, "csf_states", csf_states);
+    add(row, "cache_lookups", cache_lookups);
+    add(row, "cache_hit_rate",
+        cache_lookups > 0 ? cache_hits / cache_lookups : 0.0);
     return row;
 }
 
@@ -259,6 +288,12 @@ std::vector<std::string> bench_workload_names() {
         "cachefix/reach_mix26/after",
         "cachefix/solve_counter_x256/before",
         "cachefix/solve_counter_x256/after",
+        "cacheways/reach_mix26/before",
+        "cacheways/reach_mix26/after",
+        "cacheways/solve_counter_x256/before",
+        "cacheways/solve_counter_x256/after",
+        "cacheways/batch_families/before",
+        "cacheways/batch_families/after",
     };
 }
 
@@ -278,7 +313,9 @@ bench_row run_bench_workload(const std::string& workload) {
     if (workload == "reach/mix26") {
         return run_reach(workload, bdd_manager_options{});
     }
-    if (workload == "batch/families") { return run_batch_workload(workload); }
+    if (workload == "batch/families") {
+        return run_batch_workload(workload, problem_manager_defaults());
+    }
     if (workload == "cachefix/reach_mix26/before") {
         return run_reach(workload, before_options(18));
     }
@@ -292,6 +329,28 @@ bench_row run_bench_workload(const std::string& workload) {
     if (workload == "cachefix/solve_counter_x256/after") {
         return run_solve_scenario(workload, scenario_family::counter, 3, 256,
                                   problem_manager_defaults());
+    }
+    // associativity story: identical pinned cache budget, the historical
+    // clear-on-GC single-slot geometry versus the default 4-way aged bucket
+    if (workload == "cacheways/reach_mix26/before") {
+        return run_reach(workload, ways_options(18, 1, false));
+    }
+    if (workload == "cacheways/reach_mix26/after") {
+        return run_reach(workload, ways_options(18, 4, true));
+    }
+    if (workload == "cacheways/solve_counter_x256/before") {
+        return run_solve_scenario(workload, scenario_family::counter, 3, 256,
+                                  ways_options(22, 1, false));
+    }
+    if (workload == "cacheways/solve_counter_x256/after") {
+        return run_solve_scenario(workload, scenario_family::counter, 3, 256,
+                                  ways_options(22, 4, true));
+    }
+    if (workload == "cacheways/batch_families/before") {
+        return run_batch_workload(workload, ways_options(18, 1, false));
+    }
+    if (workload == "cacheways/batch_families/after") {
+        return run_batch_workload(workload, ways_options(18, 4, true));
     }
     throw std::invalid_argument("unknown bench workload '" + workload + "'");
 }
@@ -612,6 +671,62 @@ std::string to_string(const bench_compare_result& result) {
         out += "note: " + note + "\n";
     }
     if (result.ok()) { out += "bench compare: OK\n"; }
+    return out;
+}
+
+std::string bench_delta_table(const bench_report& base,
+                              const bench_report& current) {
+    std::string out;
+    out += "| workload | metric | base | current | delta |\n";
+    out += "|---|---|---:|---:|---:|\n";
+    std::map<std::string, const bench_row*> current_rows;
+    for (const bench_row& row : current.rows) {
+        current_rows[row.workload] = &row;
+    }
+    const auto cell = [](double v) {
+        // integers print bare; rates keep their fraction
+        return json_number(v);
+    };
+    for (const bench_row& base_row : base.rows) {
+        const auto it = current_rows.find(base_row.workload);
+        if (it == current_rows.end()) {
+            out += "| " + base_row.workload + " | _row missing_ | | | |\n";
+            continue;
+        }
+        const bench_row& now = *it->second;
+        current_rows.erase(it);
+        for (const bench_metric& bm : base_row.metrics) {
+            if (bench_metric_policy(bm.name).direction ==
+                metric_direction::info) {
+                continue;
+            }
+            const bench_metric* cm = now.find(bm.name);
+            if (cm == nullptr) {
+                out += "| " + base_row.workload + " | " + bm.name +
+                       " | " + cell(bm.value) + " | _missing_ | |\n";
+                continue;
+            }
+            std::string delta;
+            if (bm.value == cm->value) {
+                delta = "=";
+            } else if (bm.value == 0.0) {
+                delta = "new";
+            } else {
+                const double pct =
+                    (cm->value - bm.value) / bm.value * 100.0;
+                // two decimals is plenty for a 10%-budget gate
+                const double rounded = std::round(pct * 100.0) / 100.0;
+                delta = (rounded > 0 ? "+" : "") + json_number(rounded) + "%";
+            }
+            out += "| " + base_row.workload + " | " + bm.name + " | " +
+                   cell(bm.value) + " | " + cell(cm->value) + " | " + delta +
+                   " |\n";
+        }
+    }
+    for (const auto& [workload, row] : current_rows) {
+        (void)row;
+        out += "| " + workload + " | _new workload_ | | | |\n";
+    }
     return out;
 }
 

@@ -8,7 +8,7 @@
 /// (scaled gen/ scenarios, a structured-mix reachability sweep, a KISS
 /// pair with hundreds of explicit states, a mixed batch campaign) and runs
 /// them under `tools/leq_bench_run`, emitting one schema-stable JSON report
-/// (`leq-bench-v1`).  A checked-in baseline (BENCH_PR7.json at the repo
+/// (`leq-bench-v1`).  A checked-in baseline (BENCH_PR8.json at the repo
 /// root) plus `leq_bench_run --compare BASE NEW` turn the report into a CI
 /// gate: any gated metric that moves the wrong way by more than 10% (plus a
 /// small absolute slack) fails the build.
@@ -21,9 +21,12 @@
 ///
 /// The `cachefix/*` rows pin the before/after story of the PR that
 /// introduced this file: the same workloads run under the historical memory
-/// discipline (fixed-size computed cache, fixed-doubling GC trigger —
-/// reconstructed via `bdd_manager_options`) and under the current one, so
-/// the win stays measurable in every future baseline.
+/// discipline (fixed-size direct-mapped computed cache, fixed-doubling GC
+/// trigger — reconstructed via `bdd_manager_options`) and under the current
+/// one, so the win stays measurable in every future baseline.  The
+/// `cacheways/*` rows do the same for the set-associative cache: identical
+/// sizing, associativity 1 (the historical single-slot geometry) versus the
+/// default 4-way aged bucket.
 #pragma once
 
 #include "bdd/bdd.hpp"
@@ -115,6 +118,13 @@ compare_bench_reports(const bench_report& base, const bench_report& current);
 
 /// Render a human-readable summary (one line per regression/note).
 [[nodiscard]] std::string to_string(const bench_compare_result& result);
+
+/// Render a per-workload delta table of every gated metric (Markdown, so CI
+/// can drop it straight into a job summary): base value, current value, and
+/// the relative move.  Workloads missing from either side get a note row.
+/// Purely presentational — the gate itself is `compare_bench_reports`.
+[[nodiscard]] std::string bench_delta_table(const bench_report& base,
+                                            const bench_report& current);
 
 /// A corpus file the benchmark derives its inputs from, regenerated
 /// deterministically.  The checked-in copies under bench/corpus/ are

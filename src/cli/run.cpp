@@ -187,6 +187,8 @@ std::string record_to_json(const solve_record& record,
         opts.field("max_cache_bits",
                    static_cast<std::size_t>(config.solve.mem.max_cache_bits));
         opts.field("gc_threshold", config.solve.mem.gc_threshold);
+        opts.field("cache_ways",
+                   static_cast<std::size_t>(config.solve.mem.cache_ways));
         obj.field_raw("options", opts.str());
     }
     if (record.completed) {
@@ -201,6 +203,21 @@ std::string record_to_json(const solve_record& record,
             stats.field("peak_intermediate", s.peak_intermediate);
         }
         stats.field("live_nodes", s.live_nodes_after);
+        stats.field("cache_lookups", s.cache_lookups);
+        stats.field("cache_hits", s.cache_hits);
+        // per-op breakdown of the same traffic: only ops that were actually
+        // exercised, so quiet solves don't bloat the record
+        json_object ops;
+        bool any_op = false;
+        for (std::size_t k = 0; k < bdd_num_ops; ++k) {
+            if (s.op_lookups[k] == 0) { continue; }
+            any_op = true;
+            json_object one;
+            one.field("lookups", s.op_lookups[k]);
+            one.field("hits", s.op_hits[k]);
+            ops.field_raw(bdd_op_name(k), one.str());
+        }
+        if (any_op) { stats.field_raw("op_cache", ops.str()); }
         obj.field_raw("stats", stats.str());
     }
     if (record.completed && record.has_verify) {

@@ -8,6 +8,7 @@
 
 #include "automata/stg.hpp"
 #include "eq/solver.hpp"
+#include "eq/subset_common.hpp"
 
 #include <chrono>
 
@@ -78,7 +79,7 @@ solve_result solve_explicit(const equation_problem& problem,
     result.seconds = std::chrono::duration<double>(
                          std::chrono::steady_clock::now() - start)
                          .count();
-    result.stats.live_nodes_after = problem.mgr().live_node_count();
+    detail::read_manager_stats(result.stats, problem.mgr());
     return result;
 }
 

@@ -174,14 +174,14 @@ solve_result solve_monolithic(const equation_problem& problem,
                              .count();
         detail::accumulate_stats(stats, step_rel);
         result.stats = stats;
-        result.stats.live_nodes_after = mgr.live_node_count();
+        detail::read_manager_stats(result.stats, mgr);
         return result;
     } catch (const relation_deadline_exceeded&) {
         // a relation build or image chain outlived the time limit before the
         // driver could notice (the driver handles its own expansions); the
         // relation counters died with the unwound relations
         solve_result result = detail::timeout_result(start);
-        result.stats.live_nodes_after = mgr.live_node_count();
+        detail::read_manager_stats(result.stats, mgr);
         return result;
     }
 }

@@ -112,14 +112,14 @@ solve_result solve_partitioned(const equation_problem& problem,
         for (const transition_relation& rel : q_rels) {
             detail::accumulate_stats(result.stats, rel);
         }
-        result.stats.live_nodes_after = mgr.live_node_count();
+        detail::read_manager_stats(result.stats, mgr);
         return result;
     } catch (const relation_deadline_exceeded&) {
         // relation construction (clustering) outlived the time limit before
         // the driver could notice (the driver handles its own expansions);
         // the relation counters died with the unwound relations
         solve_result result = detail::timeout_result(start);
-        result.stats.live_nodes_after = mgr.live_node_count();
+        detail::read_manager_stats(result.stats, mgr);
         return result;
     }
 }

@@ -30,6 +30,7 @@
 #include "eq/problem.hpp"
 #include "img/image.hpp"
 
+#include <array>
 #include <optional>
 
 namespace leq {
@@ -82,6 +83,15 @@ struct solve_stats {
     std::size_t peak_intermediate = 0;
     /// Live BDD nodes in the problem's manager when the solve returned.
     std::size_t live_nodes_after = 0;
+    /// Computed-cache traffic of the problem's manager over the whole solve
+    /// (the manager outlives individual relations, so these are totals, not
+    /// per-phase).  `op_lookups`/`op_hits` split the same traffic by cached
+    /// operation — index with the `bdd_op_name` order — to show which
+    /// recursion is thrashing.
+    std::size_t cache_lookups = 0;
+    std::size_t cache_hits = 0;
+    std::array<std::size_t, bdd_num_ops> op_lookups{};
+    std::array<std::size_t, bdd_num_ops> op_hits{};
 };
 
 struct solve_result {

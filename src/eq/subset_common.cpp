@@ -40,6 +40,15 @@ void accumulate_stats(solve_stats& stats, const transition_relation& rel) {
         std::max(stats.peak_intermediate, r.peak_intermediate);
 }
 
+void read_manager_stats(solve_stats& stats, bdd_manager& mgr) {
+    stats.live_nodes_after = mgr.live_node_count();
+    const bdd_stats& b = mgr.stats();
+    stats.cache_lookups = b.cache_lookups;
+    stats.cache_hits = b.cache_hits;
+    stats.op_lookups = b.op_lookups;
+    stats.op_hits = b.op_hits;
+}
+
 std::vector<cofactor_class> split_by_top_block(bdd_manager& mgr, const bdd& p,
                                                std::uint32_t boundary) {
     if (p.is_zero()) { return {}; }

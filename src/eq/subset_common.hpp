@@ -32,6 +32,11 @@ timeout_result(std::chrono::steady_clock::time_point start);
 /// (both flows call this once per transition relation they built).
 void accumulate_stats(solve_stats& stats, const transition_relation& rel);
 
+/// Snapshot the manager-side counters into a finished solve's stats: live
+/// nodes (forces a count) plus total and per-op computed-cache traffic.
+/// Every solver exit path — success or deadline — calls this last.
+void read_manager_stats(solve_stats& stats, bdd_manager& mgr);
+
 /// One (u,v)-cofactor class of an image P(u,v,ns): the set of (u,v)
 /// assignments (guard) that lead to the same successor state set (leaf, over
 /// the ns variables).

@@ -266,5 +266,117 @@ TEST(bdd_manager_options_test, legacy_gc_trigger_only_ratchets_up) {
     }
 }
 
+// ---------------------------------------------------------------------------
+// computed-cache geometry: associativity, replacement, aging across GC
+// ---------------------------------------------------------------------------
+
+TEST(bdd_cache_geometry, ways_are_clamped_to_a_power_of_two_in_range) {
+    const auto ways_of = [](unsigned requested) {
+        leq::bdd_manager_options opts;
+        opts.cache_ways = requested;
+        return bdd_manager(4, opts).stats().cache_ways;
+    };
+    EXPECT_EQ(ways_of(0), 1u);
+    EXPECT_EQ(ways_of(1), 1u);
+    EXPECT_EQ(ways_of(3), 2u);  // rounded down, not up
+    EXPECT_EQ(ways_of(5), 4u);
+    EXPECT_EQ(ways_of(16), 16u);
+    EXPECT_EQ(ways_of(100), 16u);
+    EXPECT_EQ(bdd_manager(4).stats().cache_ways, 4u); // the default
+}
+
+TEST(bdd_cache_geometry, replacement_is_deterministic) {
+    // identical op sequences against identical geometry must produce
+    // identical hit/miss/GC behavior — the move-to-front LRU policy has no
+    // hidden state (no randomness, no clocks)
+    leq::bdd_manager_options opts;
+    opts.cache_bits = 8;
+    opts.max_cache_bits = 10; // pinned small: replacement under pressure
+    opts.cache_ways = 4;
+    opts.gc_threshold = std::size_t{1} << 10;
+    bdd_manager a(big_nvars, opts);
+    bdd_manager b(big_nvars, opts);
+    const bdd fa = big_function(a, 11);
+    const bdd fb = big_function(b, 11);
+    EXPECT_EQ(fa.index(), fb.index());
+    EXPECT_EQ(a.stats().cache_lookups, b.stats().cache_lookups);
+    EXPECT_EQ(a.stats().cache_hits, b.stats().cache_hits);
+    EXPECT_EQ(a.stats().gc_runs, b.stats().gc_runs);
+    EXPECT_EQ(a.stats().allocated_nodes, b.stats().allocated_nodes);
+    ASSERT_GT(a.stats().cache_lookups, a.stats().cache_hits)
+        << "workload too small to exercise replacement";
+}
+
+TEST(bdd_cache_geometry, results_are_identical_across_ways) {
+    // associativity only changes what is memoized, never what is computed
+    std::uint32_t reference = 0;
+    for (unsigned ways : {1u, 2u, 4u, 8u, 16u}) {
+        leq::bdd_manager_options opts;
+        opts.cache_bits = 8;
+        opts.max_cache_bits = 10;
+        opts.cache_ways = ways;
+        opts.gc_threshold = std::size_t{1} << 10;
+        bdd_manager mgr(big_nvars, opts);
+        const bdd f = big_function(mgr, 23);
+        if (ways == 1) {
+            reference = f.index();
+        } else {
+            EXPECT_EQ(f.index(), reference) << "ways=" << ways;
+        }
+    }
+}
+
+TEST(bdd_cache_geometry, entries_age_across_gc_instead_of_dying) {
+    bdd_manager mgr(8);
+    const bdd f = mgr.var(0);
+    const bdd g = mgr.var(1);
+    const bdd h1 = f & g; // seeds the and-op cache entry
+    mgr.collect_garbage();
+    const std::size_t hits = mgr.stats().cache_hits;
+    const bdd h2 = f & g; // every operand is externally held, so the entry
+                          // must have survived the sweep with an older age
+    EXPECT_EQ(h1, h2);
+    EXPECT_EQ(mgr.stats().cache_hits, hits + 1)
+        << "garbage collection dropped a cache entry whose key and result "
+           "are all live";
+}
+
+TEST(bdd_cache_geometry, clear_on_gc_option_restores_the_old_discipline) {
+    leq::bdd_manager_options opts;
+    opts.cache_age_on_gc = false;
+    bdd_manager mgr(8, opts);
+    const bdd f = mgr.var(0);
+    const bdd g = mgr.var(1);
+    const bdd h1 = f & g;
+    mgr.collect_garbage();
+    const std::size_t hits = mgr.stats().cache_hits;
+    const bdd h2 = f & g;
+    EXPECT_EQ(h1, h2);
+    EXPECT_EQ(mgr.stats().cache_hits, hits)
+        << "cache_age_on_gc=false must clear the whole cache at every "
+           "collection";
+}
+
+TEST(bdd_cache_geometry, growth_migrates_surviving_entries) {
+    leq::bdd_manager_options opts;
+    opts.cache_bits = 8;
+    opts.max_cache_bits = 16;
+    bdd_manager mgr(6000, opts);
+    const bdd f = mgr.var(0);
+    const bdd g = mgr.var(1);
+    const bdd h1 = f & g; // the sentinel entry that must survive growth
+    // grow the unique table with variable nodes only — no cache traffic, so
+    // the sentinel cannot be evicted by replacement, only lost by a
+    // clear-on-grow (the regression this test pins against)
+    for (std::uint32_t v = 2; v < 6000; ++v) { (void)mgr.var(v); }
+    ASSERT_GT(mgr.stats().cache_resizes, 0u)
+        << "workload too small to trigger cache growth";
+    const std::size_t hits = mgr.stats().cache_hits;
+    const bdd h2 = f & g;
+    EXPECT_EQ(h1, h2);
+    EXPECT_EQ(mgr.stats().cache_hits, hits + 1)
+        << "rehash-migration dropped a surviving cache entry";
+}
+
 } // namespace
 } // namespace leq

@@ -3,10 +3,10 @@
 /// deterministic, the JSON schema round-trips, the compare gate fails on
 /// genuine regressions (and only those), the checked-in corpus is
 /// byte-identical to what the generators produce, and the checked-in
-/// BENCH_PR7.json baseline still parses with its before/after rows.
+/// BENCH_PR8.json baseline still parses with its before/after rows.
 ///
 /// Compiled with LEQ_SOURCE_DIR pointing at the repo root so the suite can
-/// read bench/corpus/ and BENCH_PR7.json.
+/// read bench/corpus/ and BENCH_PR8.json.
 
 #include "cli/bench.hpp"
 #include "gen/scenario.hpp"
@@ -197,7 +197,12 @@ TEST(bench_workloads, ids_are_stable_and_unknown_ids_throw) {
     ASSERT_FALSE(names.empty());
     for (const char* expected :
          {"solve/counter_x256", "reach/mix26", "batch/families",
-          "cachefix/reach_mix26/before", "cachefix/reach_mix26/after"}) {
+          "cachefix/reach_mix26/before", "cachefix/reach_mix26/after",
+          "cacheways/reach_mix26/before", "cacheways/reach_mix26/after",
+          "cacheways/solve_counter_x256/before",
+          "cacheways/solve_counter_x256/after",
+          "cacheways/batch_families/before",
+          "cacheways/batch_families/after"}) {
         EXPECT_NE(std::find(names.begin(), names.end(), expected),
                   names.end())
             << expected;
@@ -265,9 +270,9 @@ TEST(bench_artifacts, corpus_files_match_the_generators_byte_for_byte) {
     }
 }
 
-TEST(bench_artifacts, checked_in_baseline_parses_and_pins_the_cachefix) {
-    const std::string json = repo_file("BENCH_PR7.json");
-    ASSERT_FALSE(json.empty()) << "BENCH_PR7.json missing at the repo root";
+TEST(bench_artifacts, checked_in_baseline_parses_and_pins_the_wins) {
+    const std::string json = repo_file("BENCH_PR8.json");
+    ASSERT_FALSE(json.empty()) << "BENCH_PR8.json missing at the repo root";
     const bench_report baseline = parse_bench_report(json);
     EXPECT_EQ(baseline.schema, "leq-bench-v1");
 
@@ -279,23 +284,71 @@ TEST(bench_artifacts, checked_in_baseline_parses_and_pins_the_cachefix) {
         EXPECT_NE(at, baseline.rows.end()) << name;
     }
 
-    // ...and the before/after rows still show the cache fix paying off
-    const auto row = [&baseline](const char* name) -> const bench_row* {
+    const auto row = [&baseline](const std::string& name) -> const bench_row* {
         const auto at = std::find_if(
             baseline.rows.begin(), baseline.rows.end(),
-            [name](const bench_row& r) { return r.workload == name; });
+            [&name](const bench_row& r) { return r.workload == name; });
         return at == baseline.rows.end() ? nullptr : &*at;
     };
-    const bench_row* before = row("cachefix/reach_mix26/before");
-    const bench_row* after = row("cachefix/reach_mix26/after");
-    ASSERT_NE(before, nullptr);
-    ASSERT_NE(after, nullptr);
-    const bench_metric* before_rate = before->find("cache_hit_rate");
-    const bench_metric* after_rate = after->find("cache_hit_rate");
-    ASSERT_NE(before_rate, nullptr);
-    ASSERT_NE(after_rate, nullptr);
-    EXPECT_GT(after_rate->value, before_rate->value)
+    const auto rate = [&row](const std::string& name) {
+        const bench_row* r = row(name);
+        EXPECT_NE(r, nullptr) << name;
+        const bench_metric* m =
+            r == nullptr ? nullptr : r->find("cache_hit_rate");
+        EXPECT_NE(m, nullptr) << name;
+        return m == nullptr ? 0.0 : m->value;
+    };
+
+    // ...the cache-sizing before/after rows still show PR 7's win...
+    EXPECT_GT(rate("cachefix/reach_mix26/after"),
+              rate("cachefix/reach_mix26/before"))
         << "the baseline no longer demonstrates the cache-sizing win";
+
+    // ...and the set-associative aged cache shows its own: at least a
+    // 2-point hit-rate gain over the historical clear-on-GC single-slot
+    // geometry on two of the three pinned pairs
+    int wins = 0;
+    for (const char* pair : {"cacheways/reach_mix26",
+                             "cacheways/solve_counter_x256",
+                             "cacheways/batch_families"}) {
+        const double gain = rate(std::string(pair) + "/after") -
+                            rate(std::string(pair) + "/before");
+        if (gain >= 0.02) { ++wins; }
+    }
+    EXPECT_GE(wins, 2)
+        << "the baseline no longer demonstrates the associativity/aging win";
+}
+
+// ---------------------------------------------------------------------------
+// the delta table
+// ---------------------------------------------------------------------------
+
+TEST(bench_delta, table_reports_gated_movement_and_coverage_changes) {
+    const bench_report base = make_base_report();
+    bench_report current = base;
+    current.rows[0].metrics[0].value = 90000.0; // -10% cache_lookups
+    bench_row extra;
+    extra.workload = "solve/new_coverage";
+    current.rows.push_back(extra);
+    const std::string table = bench_delta_table(base, current);
+    // header + the moved metric with a signed percentage
+    EXPECT_NE(table.find("| workload | metric | base | current | delta |"),
+              std::string::npos)
+        << table;
+    EXPECT_NE(table.find("| solve/synthetic | cache_lookups | 100000 | "
+                         "90000 | -10% |"),
+              std::string::npos)
+        << table;
+    // unchanged gated metrics render "=", info metrics don't render at all
+    EXPECT_NE(table.find("| solve/synthetic | cache_hit_rate | 0.5 | 0.5 "
+                         "| = |"),
+              std::string::npos)
+        << table;
+    EXPECT_EQ(table.find("cache_entries"), std::string::npos) << table;
+    // coverage changes are visible
+    EXPECT_NE(table.find("| solve/new_coverage | _new workload_ |"),
+              std::string::npos)
+        << table;
 }
 
 } // namespace

@@ -266,6 +266,54 @@ TEST(cli_solve, cache_bits_flag_raises_the_cap_when_needed) {
     EXPECT_EQ(raw_field(line, "max_cache_bits"), "26");
 }
 
+TEST(cli_solve, cache_ways_flag_is_echoed_and_solver_output_is_unchanged) {
+    // the cache only decides what gets memoized, never what gets computed:
+    // every solver-visible field must be byte-identical across geometries
+    std::string reference_solution;
+    std::string reference_subset;
+    std::string reference_csf;
+    std::string reference_live;
+    for (const char* ways : {"1", "2", "4", "8"}) {
+        const cli_run r = run({"solve", example("passthrough_f.kiss"),
+                               example("passthrough_s.kiss"), "--cache-ways",
+                               ways, "--collect-stats", "--no-timing"});
+        EXPECT_EQ(r.exit_code, 0) << r.err;
+        const std::string line = first_line(r.out);
+        EXPECT_TRUE(valid_json_object(line)) << line;
+        EXPECT_EQ(raw_field(line, "cache_ways"), ways);
+        const std::string solution = raw_field(line, "status");
+        const std::string subset = raw_field(line, "subset_states");
+        const std::string csf = raw_field(line, "csf_states");
+        const std::string live = raw_field(line, "live_nodes");
+        if (std::string(ways) == "1") {
+            reference_solution = solution;
+            reference_subset = subset;
+            reference_csf = csf;
+            reference_live = live;
+        } else {
+            EXPECT_EQ(solution, reference_solution) << "ways=" << ways;
+            EXPECT_EQ(subset, reference_subset) << "ways=" << ways;
+            EXPECT_EQ(csf, reference_csf) << "ways=" << ways;
+            EXPECT_EQ(live, reference_live) << "ways=" << ways;
+        }
+    }
+}
+
+TEST(cli_solve, stats_line_carries_the_per_op_cache_breakdown) {
+    const cli_run r =
+        run({"solve", example("passthrough_f.kiss"),
+             example("passthrough_s.kiss"), "--collect-stats",
+             "--no-timing"});
+    EXPECT_EQ(r.exit_code, 0) << r.err;
+    const std::string line = first_line(r.out);
+    EXPECT_TRUE(valid_json_object(line)) << line;
+    EXPECT_NE(raw_field(line, "cache_lookups"), "");
+    EXPECT_NE(raw_field(line, "cache_hits"), "");
+    // the breakdown object names only ops that were actually looked up
+    EXPECT_NE(line.find("\"op_cache\""), std::string::npos) << line;
+    EXPECT_NE(line.find("\"lookups\""), std::string::npos) << line;
+}
+
 TEST(cli_errors, memory_flags_reject_bad_values) {
     EXPECT_EQ(run({"solve", "--cache-bits", "31"}).exit_code, 2);
     EXPECT_EQ(run({"solve", "--cache-bits", "7"}).exit_code, 2);
@@ -273,6 +321,11 @@ TEST(cli_errors, memory_flags_reject_bad_values) {
     EXPECT_EQ(run({"solve", "--max-cache-bits", "31"}).exit_code, 2);
     EXPECT_EQ(run({"solve", "--gc-threshold", "2k"}).exit_code, 2);
     EXPECT_EQ(run({"solve", "--cache-bits"}).exit_code, 2);
+    EXPECT_EQ(run({"solve", "--cache-ways", "3"}).exit_code, 2);
+    EXPECT_EQ(run({"solve", "--cache-ways", "0"}).exit_code, 2);
+    EXPECT_EQ(run({"solve", "--cache-ways", "32"}).exit_code, 2);
+    EXPECT_EQ(run({"solve", "--cache-ways", "abc"}).exit_code, 2);
+    EXPECT_EQ(run({"solve", "--cache-ways"}).exit_code, 2);
 }
 
 TEST(cli_errors, gen_spec_rejects_bad_scale) {
