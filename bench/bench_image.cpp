@@ -134,7 +134,19 @@ void bm_reach_strategy_deep(benchmark::State& state) {
                        make_counter(static_cast<std::size_t>(state.range(0))));
 }
 BENCHMARK(bm_reach_strategy_deep)
-    ->ArgsProduct({{6, 8, 10}, {0, 1, 2}})
+    ->ArgsProduct({{6, 8, 10}, {0, 1, 2, 3}})
+    ->Unit(benchmark::kMillisecond);
+
+/// Deep-irregular workload: an n-bit LFSR — one fresh state per step like
+/// the counter, but the reached-set BDD grows irregularly instead of
+/// staying a compact {0..k} prefix, so full-set bfs re-imaging cannot hide
+/// behind the computed cache.  This is the saturation strategy's regime.
+void bm_reach_strategy_lfsr(benchmark::State& state) {
+    run_reach_strategy(
+        state, make_lfsr(static_cast<std::size_t>(state.range(0)), {2, 0}));
+}
+BENCHMARK(bm_reach_strategy_lfsr)
+    ->ArgsProduct({{10, 12}, {0, 1, 2, 3}})
     ->Unit(benchmark::kMillisecond);
 
 /// Wide-parallel workload: a structured mix of weakly coupled blocks —
@@ -150,7 +162,7 @@ void bm_reach_strategy_wide(benchmark::State& state) {
     run_reach_strategy(state, make_structured_mix(spec));
 }
 BENCHMARK(bm_reach_strategy_wide)
-    ->ArgsProduct({{12, 16, 24}, {0, 1, 2}})
+    ->ArgsProduct({{12, 16, 24}, {0, 1, 2, 3}})
     ->Unit(benchmark::kMillisecond);
 
 void bm_cluster_limit(benchmark::State& state) {

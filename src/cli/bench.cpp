@@ -90,15 +90,29 @@ bdd_manager_options ways_options(unsigned cache_bits, unsigned ways,
 // workloads
 // ---------------------------------------------------------------------------
 
+/// The `saturation/*` rows vary only the reach strategy: "before" is the
+/// textbook bfs fixpoint (R := R | Img(R)), "after" the saturation
+/// worklist, on the same deep-sequential workloads and default memory
+/// discipline — the gated win is the work-counter drop from never
+/// re-imaging the full reached set.
+image_options strategy_options(reach_strategy strategy) {
+    image_options img;
+    img.strategy = strategy;
+    return img;
+}
+
 /// Solve one scaled gen/ scenario with the partitioned flow.
 bench_row run_solve_scenario(const std::string& id, scenario_family family,
                              std::uint32_t seed, std::uint32_t scale,
-                             const bdd_manager_options& mem) {
+                             const bdd_manager_options& mem,
+                             const image_options& img = {}) {
     bench_row row;
     row.workload = id;
     const scenario s = make_scenario(family, seed, scale);
     const equation_problem problem(s.fixed, s.spec, s.num_choice_inputs, mem);
-    const solve_result result = solve_partitioned(problem);
+    solve_options options;
+    options.img = img;
+    const solve_result result = solve_partitioned(problem, options);
     if (result.status != solve_status::ok) {
         throw std::runtime_error("bench workload " + id + " gave up");
     }
@@ -106,6 +120,10 @@ bench_row run_solve_scenario(const std::string& id, scenario_family family,
         static_cast<double>(result.subset_states_explored));
     add(row, "csf_states", static_cast<double>(result.csf_states));
     add(row, "images", static_cast<double>(result.stats.images));
+    if (img.strategy == reach_strategy::saturation) {
+        add(row, "saturation_fires",
+            static_cast<double>(result.stats.saturation_fires));
+    }
     add_manager_metrics(row, problem.mgr());
     return row;
 }
@@ -139,12 +157,33 @@ network reach_circuit() {
     return make_structured_mix(spec);
 }
 
-/// Layered reachability sweep over the structured-mix circuit under the
-/// given memory discipline.
-bench_row run_reach(const std::string& id, const bdd_manager_options& mem) {
+/// Deep-sequential reach workload: a 12-cell gated ripple counter (the
+/// chaincounter generator's machine at a fixed size).  All 4096 counter
+/// values are reachable one per step, so the bfs fixpoint re-images an
+/// ever-growing reached set ~4096 times while saturation only ever
+/// images the one-state frontier chunks.
+network chain_circuit() { return make_chain_counter(12, 4); }
+
+/// The second deep-sequential reach workload: a 14-bit LFSR whose cycle
+/// visits 8188 states one per step.  Unlike the chain counter — whose
+/// reached-set prefix {0..k} keeps an O(bits) BDD, so the computed cache
+/// absorbs most of bfs's re-imaging — the LFSR's reached set is an
+/// irregular, growing BDD that changes shape every step, and the textbook
+/// fixpoint pays for all of it on every image.  This is where saturation's
+/// never-image-more-than-the-frontier discipline wins by an order of
+/// magnitude, not a margin.
+network lfsr_circuit() { return make_lfsr(14, {2, 0}); }
+
+/// Layered reachability sweep over the given circuit under the given
+/// memory discipline and reach strategy.  The relation is built
+/// explicitly (the same construction the vector entry point performs) so
+/// the row can harvest the relation-layer work counters; under saturation
+/// `reach_depth` reports fires, not BFS depth (see reach_info).
+bench_row run_reach(const std::string& id, const network& net,
+                    const bdd_manager_options& mem,
+                    const image_options& img = {}) {
     bench_row row;
     row.workload = id;
-    const network net = reach_circuit();
     bdd_manager mgr(0, mem);
     std::vector<std::uint32_t> in, cs, ns;
     for (std::size_t k = 0; k < net.num_inputs(); ++k) {
@@ -156,10 +195,18 @@ bench_row run_reach(const std::string& id, const bdd_manager_options& mem) {
     }
     const net_bdds fns = build_net_bdds(mgr, net, in, cs);
     const bdd init = state_cube(mgr, cs, net.initial_state());
-    const reach_info info =
-        reachable_states_layered(mgr, fns.next_state, cs, ns, in, init);
+    transition_relation relation =
+        transition_relation::next_state(mgr, fns.next_state, cs, ns, in, img);
+    relation.rename_image_to_current();
+    const reach_info info = reachable_states_layered(
+        relation, init, static_cast<std::uint32_t>(cs.size()));
     add(row, "reach_depth", static_cast<double>(info.depth));
     add(row, "reach_states", info.total_states);
+    add(row, "images", static_cast<double>(relation.stats().images));
+    if (img.strategy == reach_strategy::saturation) {
+        add(row, "saturation_fires",
+            static_cast<double>(relation.stats().saturation_fires));
+    }
     add_manager_metrics(row, mgr);
     return row;
 }
@@ -263,6 +310,11 @@ metric_policy bench_metric_policy(const std::string& name) {
         return {metric_direction::up_bad, 0.10, 1000.0};
     }
     if (name == "images") { return {metric_direction::up_bad, 0.10, 2.0}; }
+    // deterministic saturation trace length: drift means the worklist
+    // discipline changed
+    if (name == "saturation_fires") {
+        return {metric_direction::exact, 0.0, 0.0};
+    }
     if (name == "gc_runs") { return {metric_direction::up_bad, 0.10, 2.0}; }
     if (name == "allocated_nodes") {
         return {metric_direction::up_bad, 0.10, 4096.0};
@@ -294,6 +346,14 @@ std::vector<std::string> bench_workload_names() {
         "cacheways/solve_counter_x256/after",
         "cacheways/batch_families/before",
         "cacheways/batch_families/after",
+        "saturation/reach_mix26/before",
+        "saturation/reach_mix26/after",
+        "saturation/reach_chain/before",
+        "saturation/reach_chain/after",
+        "saturation/reach_lfsr14/before",
+        "saturation/reach_lfsr14/after",
+        "saturation/solve_counter_x256/before",
+        "saturation/solve_counter_x256/after",
     };
 }
 
@@ -311,16 +371,16 @@ bench_row run_bench_workload(const std::string& workload) {
         return run_solve_kiss(workload, f_kiss, s_kiss);
     }
     if (workload == "reach/mix26") {
-        return run_reach(workload, bdd_manager_options{});
+        return run_reach(workload, reach_circuit(), bdd_manager_options{});
     }
     if (workload == "batch/families") {
         return run_batch_workload(workload, problem_manager_defaults());
     }
     if (workload == "cachefix/reach_mix26/before") {
-        return run_reach(workload, before_options(18));
+        return run_reach(workload, reach_circuit(), before_options(18));
     }
     if (workload == "cachefix/reach_mix26/after") {
-        return run_reach(workload, bdd_manager_options{});
+        return run_reach(workload, reach_circuit(), bdd_manager_options{});
     }
     if (workload == "cachefix/solve_counter_x256/before") {
         return run_solve_scenario(workload, scenario_family::counter, 3, 256,
@@ -333,10 +393,10 @@ bench_row run_bench_workload(const std::string& workload) {
     // associativity story: identical pinned cache budget, the historical
     // clear-on-GC single-slot geometry versus the default 4-way aged bucket
     if (workload == "cacheways/reach_mix26/before") {
-        return run_reach(workload, ways_options(18, 1, false));
+        return run_reach(workload, reach_circuit(), ways_options(18, 1, false));
     }
     if (workload == "cacheways/reach_mix26/after") {
-        return run_reach(workload, ways_options(18, 4, true));
+        return run_reach(workload, reach_circuit(), ways_options(18, 4, true));
     }
     if (workload == "cacheways/solve_counter_x256/before") {
         return run_solve_scenario(workload, scenario_family::counter, 3, 256,
@@ -351,6 +411,43 @@ bench_row run_bench_workload(const std::string& workload) {
     }
     if (workload == "cacheways/batch_families/after") {
         return run_batch_workload(workload, ways_options(18, 4, true));
+    }
+    // strategy story: same workload and memory discipline, textbook bfs
+    // fixpoint versus the saturation worklist
+    if (workload == "saturation/reach_mix26/before") {
+        return run_reach(workload, reach_circuit(), bdd_manager_options{},
+                         strategy_options(reach_strategy::bfs));
+    }
+    if (workload == "saturation/reach_mix26/after") {
+        return run_reach(workload, reach_circuit(), bdd_manager_options{},
+                         strategy_options(reach_strategy::saturation));
+    }
+    if (workload == "saturation/reach_chain/before") {
+        return run_reach(workload, chain_circuit(), bdd_manager_options{},
+                         strategy_options(reach_strategy::bfs));
+    }
+    if (workload == "saturation/reach_chain/after") {
+        return run_reach(workload, chain_circuit(), bdd_manager_options{},
+                         strategy_options(reach_strategy::saturation));
+    }
+    if (workload == "saturation/reach_lfsr14/before") {
+        return run_reach(workload, lfsr_circuit(), bdd_manager_options{},
+                         strategy_options(reach_strategy::bfs));
+    }
+    if (workload == "saturation/reach_lfsr14/after") {
+        return run_reach(workload, lfsr_circuit(), bdd_manager_options{},
+                         strategy_options(reach_strategy::saturation));
+    }
+    if (workload == "saturation/solve_counter_x256/before") {
+        return run_solve_scenario(workload, scenario_family::counter, 3, 256,
+                                  problem_manager_defaults(),
+                                  strategy_options(reach_strategy::bfs));
+    }
+    if (workload == "saturation/solve_counter_x256/after") {
+        return run_solve_scenario(
+            workload, scenario_family::counter, 3, 256,
+            problem_manager_defaults(),
+            strategy_options(reach_strategy::saturation));
     }
     throw std::invalid_argument("unknown bench workload '" + workload + "'");
 }

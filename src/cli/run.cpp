@@ -199,6 +199,9 @@ std::string record_to_json(const solve_record& record,
         stats.field("clusters", s.clusters);
         stats.field("images", s.images);
         stats.field("preimages", s.preimages);
+        if (config.solve.img.strategy == reach_strategy::saturation) {
+            stats.field("saturation_fires", s.saturation_fires);
+        }
         if (config.solve.img.collect_stats) {
             stats.field("peak_intermediate", s.peak_intermediate);
         }

@@ -38,6 +38,7 @@ void accumulate_stats(solve_stats& stats, const transition_relation& rel) {
     stats.preimages += r.preimages;
     stats.peak_intermediate =
         std::max(stats.peak_intermediate, r.peak_intermediate);
+    stats.saturation_fires += r.saturation_fires;
 }
 
 void read_manager_stats(solve_stats& stats, bdd_manager& mgr) {
@@ -120,10 +121,12 @@ subset_driver::run(const bdd& initial_state,
     // subset states; the reach strategy picks the worklist discipline.  The
     // explored set (and therefore the CSF) is order-independent, but the
     // peak worklist and BDD cache locality are not: bfs/frontier expand in
-    // layer (FIFO) order, chaining follows each newly discovered subset
-    // immediately (LIFO), chaining through successor chains first.
+    // layer (FIFO) order, chaining and saturation follow each newly
+    // discovered subset immediately (LIFO), chasing successor chains first
+    // — the subset-level analogue of saturation's immediate feedback.
     std::deque<std::uint32_t> work;
-    const bool lifo = options.img.strategy == reach_strategy::chaining;
+    const bool lifo = options.img.strategy == reach_strategy::chaining ||
+                      options.img.strategy == reach_strategy::saturation;
     const auto intern = [&](const bdd& state) {
         const auto it = ids.find(state.index());
         if (it != ids.end()) { return it->second; }

@@ -204,7 +204,7 @@ describe_option_matrix(const std::vector<image_options>& matrix) {
 }
 
 std::vector<image_options> default_option_matrix() {
-    std::vector<image_options> matrix(4);
+    std::vector<image_options> matrix(6);
     // matrix[0]: the defaults (frontier, early quantification, greedy)
     matrix[1].strategy = reach_strategy::bfs;
     matrix[1].early_quantification = false;
@@ -214,6 +214,10 @@ std::vector<image_options> default_option_matrix() {
     matrix[3].strategy = reach_strategy::frontier;
     matrix[3].policy = cluster_policy::affinity;
     matrix[3].cluster_limit = 600;
+    matrix[4].strategy = reach_strategy::saturation;
+    matrix[5].strategy = reach_strategy::saturation;
+    matrix[5].policy = cluster_policy::affinity;
+    matrix[5].cluster_limit = 600;
     return matrix;
 }
 

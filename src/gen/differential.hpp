@@ -55,8 +55,9 @@ struct differential_options {
 };
 
 /// The sweep the differential runs by default: reference options, an
-/// unclustered naive-quantification BFS, a chaining/affinity configuration
-/// and a tightly clustered affinity frontier.
+/// unclustered naive-quantification BFS, a chaining/affinity configuration,
+/// a tightly clustered affinity frontier, default saturation, and a tightly
+/// clustered affinity saturation.
 [[nodiscard]] std::vector<image_options> default_option_matrix();
 
 /// Compact rendering of an option matrix ("[frontier/greedy/limit2500/early,

@@ -201,6 +201,59 @@ scenario make_nondet_scenario(std::uint32_t seed, std::size_t extra) {
     return s;
 }
 
+} // namespace
+
+/// Ripple counter with `gate` injected into the carry chain every
+/// `gate_every` cells: a long combinational dependency chain where low bits
+/// flip every enabled step and high bits move only when every lower carry
+/// and every gate line up — the deep-sequential, high-event-locality shape
+/// the saturation strategy targets.
+network make_chain_counter(std::size_t cells, std::size_t gate_every) {
+    network net("chaincounter" + std::to_string(cells));
+    net.add_input("en");
+    net.add_input("gate");
+    net.add_output("tick");
+    for (std::size_t k = 0; k < cells; ++k) {
+        const std::string n = std::to_string(k);
+        net.add_latch("n" + n, "q" + n, false);
+    }
+    // ripple carry: c0 = en, ck = c(k-1) & q(k-1) [& gate at gated cells]
+    net.add_node("c0", {"en"}, {"1"});
+    for (std::size_t k = 1; k < cells; ++k) {
+        const std::string ck = "c" + std::to_string(k);
+        const std::string pc = "c" + std::to_string(k - 1);
+        const std::string pq = "q" + std::to_string(k - 1);
+        if (k % gate_every == 0) {
+            net.add_node(ck, {pc, pq, "gate"}, {"111"});
+        } else {
+            net.add_node(ck, {pc, pq}, {"11"});
+        }
+    }
+    // nk = qk ^ ck
+    for (std::size_t k = 0; k < cells; ++k) {
+        const std::string n = std::to_string(k);
+        net.add_node("n" + n, {"q" + n, "c" + n}, {"10", "01"});
+    }
+    net.add_node("tick",
+                 {"c" + std::to_string(cells - 1),
+                  "q" + std::to_string(cells - 1)},
+                 {"11"});
+    net.validate();
+    return net;
+}
+
+namespace {
+
+scenario make_chaincounter_scenario(std::uint32_t seed, std::size_t extra) {
+    scenario s;
+    std::mt19937 rng = scenario_rng(scenario_family::chaincounter, seed);
+    const std::size_t cells = pick(rng, 4, 6) + extra;
+    const std::size_t gate_every = pick(rng, 2, 3);
+    const std::size_t xl = pick(rng, 1, 2);
+    fill_from_split(s, make_chain_counter(cells, gate_every), xl);
+    return s;
+}
+
 scenario make_mutant_scenario(std::uint32_t seed, std::size_t extra) {
     // start from a known-good split pair, then flip one spec bit
     scenario s = (seed % 2) == 0 ? make_counter_scenario(seed / 2, extra)
@@ -228,6 +281,7 @@ const char* to_string(scenario_family family) {
     case scenario_family::pipeline: return "pipeline";
     case scenario_family::nondet: return "nondet";
     case scenario_family::mutant: return "mutant";
+    case scenario_family::chaincounter: return "chaincounter";
     }
     return "?";
 }
@@ -262,6 +316,9 @@ scenario make_scenario(scenario_family family, std::uint32_t seed,
         break;
     case scenario_family::mutant:
         s = make_mutant_scenario(seed, extra);
+        break;
+    case scenario_family::chaincounter:
+        s = make_chaincounter_scenario(seed, extra);
         break;
     }
     s.family = family;

@@ -35,6 +35,12 @@ enum class scenario_family : std::uint8_t {
     pipeline, ///< latch-split of a compose_networks-built flat pipeline
     nondet,   ///< F carries a choice input w (footnote-2 nondeterminism)
     mutant,   ///< near-miss: solvable pair with one flipped spec bit
+    /// Gated ripple counter with a long carry dependency chain: low bits
+    /// churn every step while high bits move rarely — maximal event
+    /// locality, the deep-sequential stress case the saturation strategy
+    /// targets.  Appended after mutant so historical (family, seed)
+    /// reproducers keep their meaning.
+    chaincounter,
 };
 
 /// All families, in a fixed order (sweeps, CLI).
@@ -42,6 +48,7 @@ inline constexpr scenario_family all_scenario_families[] = {
     scenario_family::random,  scenario_family::counter,
     scenario_family::arbiter, scenario_family::pipeline,
     scenario_family::nondet,  scenario_family::mutant,
+    scenario_family::chaincounter,
 };
 
 [[nodiscard]] const char* to_string(scenario_family family);
@@ -86,6 +93,14 @@ struct scenario {
 [[nodiscard]] scenario make_scenario(scenario_family family,
                                      std::uint32_t seed,
                                      std::uint32_t scale = 1);
+
+/// The raw chaincounter network behind `gen:chaincounter` scenarios: a
+/// ripple counter with `gate` injected into the carry chain every
+/// `gate_every` cells.  Exposed so the bench harness can run reachability
+/// on a deterministic deep-sequential machine (the `saturation/reach_chain`
+/// rows) with exactly the shape the chaincounter family generates.
+[[nodiscard]] network make_chain_counter(std::size_t cells,
+                                         std::size_t gate_every);
 
 // ---------------------------------------------------------------------------
 // shared helpers for the randomized test suites

@@ -81,6 +81,10 @@ private:
 
 /// Layered forward reachability: the same fixpoint, additionally reporting
 /// the BFS structure (sequential depth and states first reached per layer).
+/// Under `reach_strategy::saturation` no BFS structure exists, so the fields
+/// report the saturation trace instead: `depth` counts fires (image
+/// applications that discovered new states) and `layer_states` the per-fire
+/// discoveries — `reached`/`total_states` are strategy-independent.
 struct reach_info {
     bdd reached;        ///< all reachable states over cs_vars
     std::size_t depth = 0; ///< number of images until the fixpoint

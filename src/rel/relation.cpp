@@ -13,6 +13,7 @@ const char* to_string(reach_strategy strategy) {
     case reach_strategy::bfs: return "bfs";
     case reach_strategy::frontier: return "frontier";
     case reach_strategy::chaining: return "chaining";
+    case reach_strategy::saturation: return "saturation";
     }
     return "?";
 }

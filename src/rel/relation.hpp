@@ -45,17 +45,30 @@ namespace leq {
 ///              relations this is the exact-image analogue of LTSmin's
 ///              chaining: successive and_exists applications chain each
 ///              partial product into the next relation part.
+///  * saturation  Ciardo-style locality-driven exploration (the shape of
+///              LTSmin's pins2lts-sym saturation, adapted to synchronous
+///              conjunctive relations).  The fixpoint keeps a LIFO worklist
+///              of frontier *chunks* split at the clusters' event-locality
+///              anchors (`quant_schedule::cluster_tops`): every image is
+///              still the exact full-relation image of a subset of the
+///              frontier, but newly discovered states feed back immediately
+///              and the chunk rooted deepest in the variable order is
+///              saturated to a local fixpoint before work propagates back
+///              up.  Because Img distributes over union, the fixpoint is
+///              identical; BFS depth/layering is not defined for it.
 ///
-/// All three strategies compute the same fixpoint; they differ only in BDD
+/// All strategies compute the same fixpoint; they differ only in BDD
 /// operation scheduling, which routinely changes runtime by integer factors.
-enum class reach_strategy : std::uint8_t { bfs, frontier, chaining };
+enum class reach_strategy : std::uint8_t { bfs, frontier, chaining,
+                                           saturation };
 
 /// Strategy name for benchmark tables and diagnostics ("bfs", ...).
 [[nodiscard]] const char* to_string(reach_strategy strategy);
 
 /// All strategies, in a fixed order (benchmark/test sweeps).
 inline constexpr reach_strategy all_reach_strategies[] = {
-    reach_strategy::bfs, reach_strategy::frontier, reach_strategy::chaining};
+    reach_strategy::bfs, reach_strategy::frontier, reach_strategy::chaining,
+    reach_strategy::saturation};
 
 /// Options for the relation layer (and, unchanged in name, for the image
 /// engine wrapping it — `solve_options::img` plumbs this through both solver
@@ -163,6 +176,11 @@ public:
     /// Accumulated per-call statistics (see relation_stats).
     [[nodiscard]] const relation_stats& stats() const { return stats_; }
     [[nodiscard]] const image_options& options() const { return options_; }
+    /// Saturation bookkeeping: the saturation fixpoint reports every image
+    /// application that discovered new states as one "fire"
+    /// (`relation_stats::saturation_fires`); like image(), counting mutates
+    /// only the per-call statistics.
+    void record_saturation_fire() const { ++stats_.saturation_fires; }
 
 private:
     transition_relation(bdd_manager& mgr, std::vector<bdd> parts,

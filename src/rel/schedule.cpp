@@ -88,9 +88,19 @@ quant_schedule::quant_schedule(bdd_manager& mgr,
 
     clusters_.reserve(order.size());
     cubes_.reserve(order.size());
+    cluster_tops_.reserve(order.size());
     for (std::size_t pos = 0; pos < order.size(); ++pos) {
         clusters_.push_back(clusters[order[pos]]);
         cubes_.push_back(mgr.cube(retired_[pos]));
+        // event locality: the root-most quantified variable the cluster
+        // reads (saturation splits frontiers at these levels)
+        std::uint32_t top = no_top;
+        for (const std::uint32_t v : qsupport[order[pos]]) {
+            if (top == no_top || mgr.level_of(v) < mgr.level_of(top)) {
+                top = v;
+            }
+        }
+        cluster_tops_.push_back(top);
     }
 
     // chain steps: fuse every empty-retire cluster into its successor so the

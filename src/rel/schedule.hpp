@@ -37,6 +37,10 @@ struct relation_stats {
     std::size_t images = 0;             ///< image() calls served
     std::size_t preimages = 0;          ///< preimage() calls served
     std::size_t peak_intermediate = 0;  ///< max partial-product DAG size
+    /// Saturation-strategy fires: image applications inside a saturation
+    /// fixpoint that discovered at least one new state (counted by the
+    /// fixpoint loop via `transition_relation::record_saturation_fire`).
+    std::size_t saturation_fires = 0;
 };
 
 /// An executable quantification schedule (order + per-cluster retire cubes).
@@ -77,6 +81,16 @@ public:
     [[nodiscard]] const std::vector<std::uint32_t>& leading() const {
         return leading_;
     }
+    /// Event locality, per scheduled cluster: the root-most (lowest level)
+    /// quantified variable in the cluster's support, `no_top` when the
+    /// cluster has no quantified support.  A cluster only constrains states
+    /// at or below its top, so these anchors mark the variable levels where
+    /// distinct events live — the split points the saturation strategy uses
+    /// to carve frontiers into locality chunks.
+    static constexpr std::uint32_t no_top = 0xffffffffu;
+    [[nodiscard]] const std::vector<std::uint32_t>& cluster_tops() const {
+        return cluster_tops_;
+    }
 
     /// Copy the static schedule shape into a stats block.
     void describe(bdd_manager& mgr, relation_stats& stats) const;
@@ -86,6 +100,7 @@ private:
     std::vector<bdd> clusters_; ///< scheduled order
     std::vector<bdd> cubes_;    ///< per cluster: cube of `retired_[k]`
     std::vector<std::vector<std::uint32_t>> retired_;
+    std::vector<std::uint32_t> cluster_tops_; ///< see cluster_tops()
     std::vector<std::uint32_t> leading_;
     bdd leading_cube_;
     /// Batches for the n-ary and-exists: `run_end_[k]` is one past the last

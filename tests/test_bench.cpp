@@ -3,10 +3,10 @@
 /// deterministic, the JSON schema round-trips, the compare gate fails on
 /// genuine regressions (and only those), the checked-in corpus is
 /// byte-identical to what the generators produce, and the checked-in
-/// BENCH_PR8.json baseline still parses with its before/after rows.
+/// BENCH_PR9.json baseline still parses with its before/after rows.
 ///
 /// Compiled with LEQ_SOURCE_DIR pointing at the repo root so the suite can
-/// read bench/corpus/ and BENCH_PR8.json.
+/// read bench/corpus/ and BENCH_PR9.json.
 
 #include "cli/bench.hpp"
 #include "gen/scenario.hpp"
@@ -68,6 +68,8 @@ TEST(bench_policy, directions_match_the_documented_gate) {
     EXPECT_EQ(bench_metric_policy("reach_states").direction,
               metric_direction::exact);
     EXPECT_EQ(bench_metric_policy("batch_solved").direction,
+              metric_direction::exact);
+    EXPECT_EQ(bench_metric_policy("saturation_fires").direction,
               metric_direction::exact);
     // unknown names are recorded but never gated
     EXPECT_EQ(bench_metric_policy("some_future_metric").direction,
@@ -202,7 +204,12 @@ TEST(bench_workloads, ids_are_stable_and_unknown_ids_throw) {
           "cacheways/solve_counter_x256/before",
           "cacheways/solve_counter_x256/after",
           "cacheways/batch_families/before",
-          "cacheways/batch_families/after"}) {
+          "cacheways/batch_families/after",
+          "saturation/reach_mix26/before", "saturation/reach_mix26/after",
+          "saturation/reach_chain/before", "saturation/reach_chain/after",
+          "saturation/reach_lfsr14/before", "saturation/reach_lfsr14/after",
+          "saturation/solve_counter_x256/before",
+          "saturation/solve_counter_x256/after"}) {
         EXPECT_NE(std::find(names.begin(), names.end(), expected),
                   names.end())
             << expected;
@@ -271,8 +278,8 @@ TEST(bench_artifacts, corpus_files_match_the_generators_byte_for_byte) {
 }
 
 TEST(bench_artifacts, checked_in_baseline_parses_and_pins_the_wins) {
-    const std::string json = repo_file("BENCH_PR8.json");
-    ASSERT_FALSE(json.empty()) << "BENCH_PR8.json missing at the repo root";
+    const std::string json = repo_file("BENCH_PR9.json");
+    ASSERT_FALSE(json.empty()) << "BENCH_PR9.json missing at the repo root";
     const bench_report baseline = parse_bench_report(json);
     EXPECT_EQ(baseline.schema, "leq-bench-v1");
 
@@ -317,6 +324,48 @@ TEST(bench_artifacts, checked_in_baseline_parses_and_pins_the_wins) {
     }
     EXPECT_GE(wins, 2)
         << "the baseline no longer demonstrates the associativity/aging win";
+
+    // ...and the saturation strategy shows its own.  On every pinned pair
+    // the fixpoint is identical (the reached-state count is pinned equal);
+    // on the deep-sequential machines — one new state per step, so the
+    // textbook bfs baseline re-images the whole growing reached set
+    // thousands of times — saturation's frontier chunking must show
+    // strictly less cache traffic: a margin on the chain counter (whose
+    // compact {0..k} reached sets let the computed cache absorb most of
+    // the re-imaging) and an order of magnitude on the LFSR (whose
+    // irregular reached set defeats that memoization).  mix26 (wide,
+    // shallow layers) is pinned for equivalence only: its honest numbers
+    // show the split overhead without a win, which is exactly why the
+    // strategy is opt-in.
+    const auto metric = [&row](const std::string& name,
+                               const std::string& which) {
+        const bench_row* r = row(name);
+        EXPECT_NE(r, nullptr) << name;
+        const bench_metric* m = r == nullptr ? nullptr : r->find(which);
+        EXPECT_NE(m, nullptr) << name << " " << which;
+        return m == nullptr ? 0.0 : m->value;
+    };
+    for (const char* pair :
+         {"saturation/reach_mix26", "saturation/reach_chain",
+          "saturation/reach_lfsr14"}) {
+        EXPECT_DOUBLE_EQ(metric(std::string(pair) + "/after", "reach_states"),
+                         metric(std::string(pair) + "/before", "reach_states"))
+            << pair << ": saturation reached a different fixpoint than bfs";
+        EXPECT_GT(metric(std::string(pair) + "/after", "saturation_fires"),
+                  0.0)
+            << pair;
+    }
+    for (const char* pair :
+         {"saturation/reach_chain", "saturation/reach_lfsr14"}) {
+        EXPECT_LT(metric(std::string(pair) + "/after", "cache_lookups"),
+                  metric(std::string(pair) + "/before", "cache_lookups"))
+            << pair
+            << ": the baseline no longer demonstrates the saturation win";
+    }
+    // the LFSR pair is the order-of-magnitude case: anything under 5x
+    // means the strategy stopped exploiting the frontier
+    EXPECT_LT(metric("saturation/reach_lfsr14/after", "cache_lookups") * 5.0,
+              metric("saturation/reach_lfsr14/before", "cache_lookups"));
 }
 
 // ---------------------------------------------------------------------------

@@ -217,6 +217,26 @@ TEST(cli_solve, knob_flags_reach_the_relation_layer) {
     EXPECT_EQ(raw_field(line, "seconds"), ""); // --no-timing
 }
 
+TEST(cli_solve, saturation_strategy_is_accepted_and_echoed) {
+    // the fourth strategy parses, shows up in the options echo, and
+    // surfaces its fires counter in the stats block (saturation runs only)
+    const cli_run r =
+        run({"solve", "gen:chaincounter:2", "--strategy", "saturation",
+             "--no-timing"});
+    EXPECT_EQ(r.exit_code, 0) << r.err;
+    const std::string line = first_line(r.out);
+    EXPECT_TRUE(valid_json_object(line)) << line;
+    EXPECT_EQ(raw_field(line, "strategy"), "\"saturation\"");
+    EXPECT_EQ(raw_field(line, "status"), "\"ok\"");
+    EXPECT_NE(raw_field(line, "saturation_fires"), "") << line;
+
+    // under any other strategy the counter stays out of the stats block
+    const cli_run frontier =
+        run({"solve", "gen:chaincounter:2", "--no-timing"});
+    EXPECT_EQ(frontier.exit_code, 0) << frontier.err;
+    EXPECT_EQ(raw_field(first_line(frontier.out), "saturation_fires"), "");
+}
+
 TEST(cli_solve, gen_spec_generates_and_solves) {
     const cli_run r = run({"solve", "gen:counter:7"});
     EXPECT_EQ(r.exit_code, 0) << r.err;
@@ -419,6 +439,12 @@ TEST(cli_errors, missing_input_file) {
 TEST(cli_errors, missing_flag_value) {
     EXPECT_EQ(run({"solve", "--strategy"}).exit_code, 2);
     EXPECT_EQ(run({"solve", "--cluster-limit", "lots"}).exit_code, 2);
+}
+
+TEST(cli_errors, unknown_strategy_still_rejected) {
+    const cli_run r = run({"solve", "--strategy", "saturati0n"});
+    EXPECT_EQ(r.exit_code, 2);
+    EXPECT_NE(r.err.find("unknown strategy"), std::string::npos);
 }
 
 TEST(cli_errors, numeric_flags_reject_trailing_garbage) {

@@ -32,7 +32,7 @@ TEST_P(differential_families, all_flows_agree_and_csf_verifies) {
 
 INSTANTIATE_TEST_SUITE_P(
     families_x_seeds, differential_families,
-    ::testing::Combine(::testing::Range(0, 6),
+    ::testing::Combine(::testing::Range(0, 7),
                        ::testing::Values(1u, 2u, 3u, 4u)));
 
 TEST(differential_oracle, explicit_flow_joins_every_family) {
@@ -70,15 +70,18 @@ TEST(differential_oracle, mutants_exercise_the_diagnosis_replay) {
 TEST(differential_options_, matrix_is_a_real_sweep) {
     const std::vector<image_options> matrix = default_option_matrix();
     ASSERT_GE(matrix.size(), 3u);
-    // at least two strategies and both cluster policies appear
-    bool bfs = false, frontier = false, affinity = false;
+    // at least three strategies (saturation included) and both cluster
+    // policies appear
+    bool bfs = false, frontier = false, saturation = false, affinity = false;
     for (const image_options& o : matrix) {
         bfs |= o.strategy == reach_strategy::bfs;
         frontier |= o.strategy == reach_strategy::frontier;
+        saturation |= o.strategy == reach_strategy::saturation;
         affinity |= o.policy == cluster_policy::affinity;
     }
     EXPECT_TRUE(bfs);
     EXPECT_TRUE(frontier);
+    EXPECT_TRUE(saturation);
     EXPECT_TRUE(affinity);
     EXPECT_FALSE(describe_option_matrix(matrix).empty());
 }
@@ -91,7 +94,7 @@ TEST(differential_fuzz, short_campaign_is_clean) {
     EXPECT_TRUE(report.ok())
         << report.failures.front().failure
         << " (replay: LEQ_TEST_SEED=" << options.seed_base << ")";
-    EXPECT_EQ(report.scenarios_run, 3u * 6u);
+    EXPECT_EQ(report.scenarios_run, 3u * 7u);
 }
 
 } // namespace

@@ -76,7 +76,7 @@ TEST_P(gen_families, shape_invariants_hold) {
 
 INSTANTIATE_TEST_SUITE_P(
     families_x_seeds, gen_families,
-    ::testing::Combine(::testing::Range(0, 6),
+    ::testing::Combine(::testing::Range(0, 7),
                        ::testing::Values(1u, 2u, 7u)));
 
 TEST(gen_determinism, same_seed_reproduces_bit_for_bit) {
@@ -95,6 +95,40 @@ TEST(gen_determinism, seeds_vary_the_instance) {
     const scenario a = make_scenario(scenario_family::random, 1);
     const scenario b = make_scenario(scenario_family::random, 2);
     EXPECT_NE(write_blif_string(a.spec), write_blif_string(b.spec));
+}
+
+TEST(gen_chaincounter, deterministic_and_scale1_is_byte_identical) {
+    // bit-for-bit reproduction per (seed, scale) — and the historical
+    // contract that scale 1 matches the two-argument call byte for byte,
+    // so shrunk reproducers stay valid
+    const scenario a = make_scenario(scenario_family::chaincounter, 9, 4);
+    const scenario b = make_scenario(scenario_family::chaincounter, 9, 4);
+    EXPECT_EQ(write_blif_string(a.fixed), write_blif_string(b.fixed));
+    EXPECT_EQ(write_blif_string(a.spec), write_blif_string(b.spec));
+    EXPECT_EQ(write_blif_string(a.part), write_blif_string(b.part));
+
+    const scenario two_arg = make_scenario(scenario_family::chaincounter, 9);
+    const scenario explicit1 =
+        make_scenario(scenario_family::chaincounter, 9, 1);
+    EXPECT_EQ(write_blif_string(two_arg.fixed),
+              write_blif_string(explicit1.fixed));
+    EXPECT_EQ(write_blif_string(two_arg.spec),
+              write_blif_string(explicit1.spec));
+    EXPECT_EQ(two_arg.name, "chaincounter:9");
+    EXPECT_EQ(explicit1.name, "chaincounter:9");
+}
+
+TEST(gen_chaincounter, scale_widens_the_carry_chain) {
+    // each scale doubling adds a cell without reshuffling the structure:
+    // the gated ripple chain just grows, which is what makes the family a
+    // deep-sequential stress knob
+    const scenario base = make_scenario(scenario_family::chaincounter, 9);
+    const scenario wide = make_scenario(scenario_family::chaincounter, 9, 8);
+    EXPECT_EQ(wide.spec.num_latches(), base.spec.num_latches() + 3);
+    EXPECT_TRUE(wide.has_part);
+    // the split preserves the equation shape: F + X_P latches cover S
+    EXPECT_EQ(wide.fixed.num_latches() + wide.part.num_latches(),
+              wide.spec.num_latches());
 }
 
 TEST(gen_menu, canonical_circuits_validate_and_reproduce) {
@@ -280,7 +314,7 @@ TEST(gen_fuzz, clean_campaign_reports_ok) {
     EXPECT_TRUE(report.ok()) << (report.failures.empty()
                                      ? ""
                                      : report.failures.front().failure);
-    EXPECT_EQ(report.scenarios_run, 2u * 6u);
+    EXPECT_EQ(report.scenarios_run, 2u * 7u);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,10 +1,12 @@
 /// \file test_reach_strategies.cpp
-/// \brief The three reachability strategies (bfs / frontier / chaining) must
-/// be pure scheduling choices: on any machine, under any early-quantification
-/// x clustering combination, they reach the identical state set with the
-/// identical sat count and BFS layering.  Cross-checked on randomly generated
-/// networks (plus structured families) and on the language-equation solvers,
-/// whose subset construction plumbs the same strategy option.
+/// \brief The four reachability strategies (bfs / frontier / chaining /
+/// saturation) must be pure scheduling choices: on any machine, under any
+/// early-quantification x clustering combination, they reach the identical
+/// state set with the identical sat count — and all but saturation (whose
+/// worklist deliberately abandons layer order) the identical BFS layering.
+/// Cross-checked on randomly generated networks (plus structured families)
+/// and on the language-equation solvers, whose subset construction plumbs
+/// the same strategy option.
 
 #include "eq/solver.hpp"
 #include "eq/verify.hpp"
@@ -75,7 +77,7 @@ network machine_for(int id) {
     }
 }
 
-/// The full option matrix the engine supports: 3 strategies x
+/// The full option matrix the engine supports: every strategy x
 /// early-quantification on/off x clustering off/default.
 std::vector<image_options> option_matrix() {
     std::vector<image_options> matrix;
@@ -124,8 +126,9 @@ TEST_P(reach_strategies, identical_layering_and_depth) {
     auto [fns, vars] = setup(mgr, net);
     const bdd init = state_cube(mgr, vars.cs, net.initial_state());
 
-    // every strategy adds exactly the BFS layer Img(R_k) \ R_k per step, so
-    // depth and per-layer counts agree, not just the fixpoint
+    // bfs/frontier/chaining add exactly the BFS layer Img(R_k) \ R_k per
+    // step, so depth and per-layer counts agree, not just the fixpoint
+    // (saturation reports a fires trace instead; see its own suite below)
     image_options options;
     options.strategy = reach_strategy::frontier;
     const reach_info reference = reachable_states_layered(
@@ -169,6 +172,48 @@ TEST(reach_strategies_oracle, sat_count_matches_explicit_bfs) {
     }
 }
 
+TEST(reach_strategies_saturation, pinned_state_count_identity_vs_bfs) {
+    // the locality-chunked worklist must close over exactly the states the
+    // textbook bfs fixpoint reaches — pinned per machine on the deep shapes
+    // saturation targets, via an explicitly built relation so the fires
+    // counter is observable alongside the trace
+    for (const int id : {1, 2, 3}) {
+        const network net = machine_for(id);
+        bdd_manager mgr;
+        auto [fns, vars] = setup(mgr, net);
+        const bdd init = state_cube(mgr, vars.cs, net.initial_state());
+        const auto nbits = static_cast<std::uint32_t>(vars.cs.size());
+
+        image_options options;
+        options.strategy = reach_strategy::bfs;
+        const reach_info bfs = reachable_states_layered(
+            mgr, fns.next_state, vars.cs, vars.ns, vars.in, init, options);
+
+        options.strategy = reach_strategy::saturation;
+        transition_relation relation = transition_relation::next_state(
+            mgr, fns.next_state, vars.cs, vars.ns, vars.in, options);
+        relation.rename_image_to_current();
+        const reach_info sat =
+            reachable_states_layered(relation, init, nbits);
+
+        EXPECT_EQ(sat.reached, bfs.reached) << "machine " << id;
+        EXPECT_DOUBLE_EQ(sat.total_states, bfs.total_states);
+        EXPECT_DOUBLE_EQ(mgr.sat_count(sat.reached, nbits),
+                         bfs.total_states);
+        // the saturation trace: depth counts fires, one layer entry per
+        // fire plus the init entry, and the fires land in the relation stats
+        EXPECT_EQ(sat.depth, relation.stats().saturation_fires)
+            << "machine " << id;
+        EXPECT_EQ(sat.layer_states.size(), sat.depth + 1);
+        EXPECT_GT(relation.stats().saturation_fires, 0u);
+        double discovered = 0.0;
+        for (const double states : sat.layer_states) { discovered += states; }
+        // chunks are disjoint from the reached set, so every state is
+        // discovered exactly once across the trace
+        EXPECT_DOUBLE_EQ(discovered, bfs.total_states) << "machine " << id;
+    }
+}
+
 TEST(reach_strategies_solver, csf_invariant_under_strategy) {
     // the subset construction plumbs the strategy into its image engines and
     // worklist discipline; the CSF language must not depend on it
@@ -185,7 +230,8 @@ TEST(reach_strategies_solver, csf_invariant_under_strategy) {
         const solve_result reference = solve_partitioned(problem, base);
         ASSERT_EQ(reference.status, solve_status::ok);
         for (const reach_strategy strategy :
-             {reach_strategy::bfs, reach_strategy::chaining}) {
+             {reach_strategy::bfs, reach_strategy::chaining,
+              reach_strategy::saturation}) {
             solve_options options;
             options.img.strategy = strategy;
             const solve_result part = solve_partitioned(problem, options);

@@ -373,6 +373,39 @@ TEST(relation_deadline, reachability_fixpoint_throws_past_deadline) {
     EXPECT_EQ(limited, reference);
 }
 
+TEST(relation_deadline, saturation_fixpoint_throws_past_deadline) {
+    // the saturation worklist checks the deadline at every pop, so a deep
+    // recursion of chunk fires cannot outlive the budget between images
+    const network net = make_counter(8);
+    bdd_manager mgr;
+    auto [fns, vars] = setup(mgr, net);
+    const bdd init = state_cube(mgr, vars.cs, net.initial_state());
+    image_options options;
+    options.strategy = reach_strategy::saturation;
+    options.cluster_limit = 0; // construction merges nothing, so it survives
+    options.deadline = std::chrono::steady_clock::now() -
+                       std::chrono::seconds(1);
+    transition_relation rel = transition_relation::next_state(
+        mgr, fns.next_state, vars.cs, vars.ns, vars.in, options);
+    rel.rename_image_to_current();
+    EXPECT_THROW(
+        (void)reachable_states_layered(
+            rel, init, static_cast<std::uint32_t>(vars.cs.size())),
+        relation_deadline_exceeded);
+    EXPECT_EQ(rel.stats().saturation_fires, 0u); // unwound before any fire
+    EXPECT_THROW((void)reachable_states(mgr, fns.next_state, vars.cs,
+                                        vars.ns, vars.in, init, options),
+                 relation_deadline_exceeded);
+    // a generous deadline changes nothing
+    options.deadline = std::chrono::steady_clock::now() +
+                       std::chrono::hours(1);
+    const bdd limited = reachable_states(mgr, fns.next_state, vars.cs,
+                                         vars.ns, vars.in, init, options);
+    const bdd reference = reachable_states(mgr, fns.next_state, vars.cs,
+                                           vars.ns, vars.in, init);
+    EXPECT_EQ(limited, reference);
+}
+
 TEST(relation_deadline, solvers_translate_deadline_into_timeout_status) {
     const network original = make_counter(3);
     const split_result split = split_last_latches(original, 1);
