@@ -483,8 +483,21 @@ void bdd_manager::cache_insert(cache_entry* bucket,
     bucket[0] = entry;
 }
 
+void bdd_manager::op_deadline_check() {
+    op_deadline_countdown_ = op_deadline_stride;
+    if (std::chrono::steady_clock::now() > op_deadline_) {
+        throw bdd_deadline_exceeded{};
+    }
+}
+
 bool bdd_manager::cache_lookup(op o, std::uint32_t f, std::uint32_t g,
                                std::uint32_t h, std::uint32_t& result) {
+    // every recursive core probes the cache, so this is the one place a
+    // cooperative deadline can interrupt a long-running operation from the
+    // inside; the countdown keeps the clock read off the hot path
+    if (op_deadline_armed_ && --op_deadline_countdown_ == 0) {
+        op_deadline_check();
+    }
     ++stats_.cache_lookups;
     ++stats_.op_lookups[static_cast<std::size_t>(o)];
     cache_entry* bucket = cache_bucket(o, f, g, h);

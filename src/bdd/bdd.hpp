@@ -58,8 +58,10 @@
 #pragma once
 
 #include <array>
+#include <chrono>
 #include <cstdint>
 #include <functional>
+#include <stdexcept>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -133,6 +135,17 @@ private:
 
     bdd_manager* mgr_ = nullptr;
     std::uint32_t idx_ = 0;
+};
+
+/// Thrown from inside a recursive BDD operation when the manager's op
+/// deadline (set_op_deadline) has passed.  The operation's partial results
+/// become ordinary garbage — no manager state needs unwinding beyond the
+/// exception itself — so callers may catch, translate and keep using the
+/// manager.  The relation layer translates this into
+/// relation_deadline_exceeded (src/rel/deadline.hpp).
+struct bdd_deadline_exceeded : std::runtime_error {
+    bdd_deadline_exceeded()
+        : std::runtime_error("bdd operation deadline exceeded") {}
 };
 
 /// Number of distinct cached operation kinds; indexes the per-op counters
@@ -307,6 +320,13 @@ public:
     /// Number of DAG nodes (including the terminal) reachable from f.  With
     /// complement edges f and !f have identical size by construction.
     [[nodiscard]] std::size_t dag_size(const bdd& f);
+    /// `dag_size(f) >= n`, without computing the full size: the walk stops
+    /// as soon as `n` distinct nodes are seen, and visited marks live in a
+    /// reusable epoch-stamped scratch instead of a hash set.  The parallel
+    /// image engine probes every operand against its fan-out floor with
+    /// this — small operands (the common case in the subset solvers) cost
+    /// one short traversal and no allocation.
+    [[nodiscard]] bool dag_size_at_least(const bdd& f, std::size_t n);
     /// Number of satisfying assignments over `nvars` variables.
     [[nodiscard]] double sat_count(const bdd& f, std::uint32_t nvars);
     /// Evaluate under a full assignment indexed by variable id.
@@ -364,6 +384,20 @@ public:
     /// table).  Throws std::logic_error on violation; for tests.
     void check_consistency() const;
 
+    // ---- cooperative op deadline ----------------------------------------
+    /// Arm a deadline checked *inside* the recursive operation cores: once
+    /// `when` passes, the next computed-cache probe (checked every ~1024
+    /// lookups to keep the hot path cheap) throws bdd_deadline_exceeded.
+    /// This is what lets a caller bound one monolithic and_exists run
+    /// instead of only noticing a blown budget between operations.  The
+    /// deadline stays armed until clear_op_deadline().
+    void set_op_deadline(std::chrono::steady_clock::time_point when) {
+        op_deadline_ = when;
+        op_deadline_armed_ = true;
+        op_deadline_countdown_ = op_deadline_stride;
+    }
+    void clear_op_deadline() { op_deadline_armed_ = false; }
+
     // ---- maintenance -----------------------------------------------------
     /// Run mark-and-sweep garbage collection now.
     void collect_garbage();
@@ -385,6 +419,10 @@ public:
 
 private:
     friend class bdd;
+    // Cross-manager DAG copy (src/bdd/transfer.cpp) — the one sanctioned
+    // way a function crosses managers.  It needs the raw edge accessors and
+    // mk(); everything else goes through the public surface.
+    friend class bdd_transfer_access;
 
     // ---- checked-build provenance guards (LEQ_CHECKED) -------------------
     // The one-manager-per-thread rule and the no-cross-manager-handles rule
@@ -529,6 +567,11 @@ private:
     void inc_ext_ref(std::uint32_t ref);
     void dec_ext_ref(std::uint32_t ref);
 
+    /// Countdown slow path for the op deadline: reads the clock and throws
+    /// bdd_deadline_exceeded when past.  Called from cache_lookup every
+    /// `op_deadline_stride` probes while a deadline is armed.
+    void op_deadline_check();
+
     // computed cache (set-associative, age-stamped)
     bool cache_lookup(op o, std::uint32_t f, std::uint32_t g, std::uint32_t h,
                       std::uint32_t& result);
@@ -612,9 +655,22 @@ private:
     std::vector<std::uint32_t> level2var_;
     bdd_manager_options opts_;
     std::size_t gc_threshold_ = std::size_t{1} << 14;
+    /// Cache probes between op-deadline clock reads: rare enough that the
+    /// hot path only pays a decrement, frequent enough that one and_exists
+    /// cannot overshoot its budget by more than a few thousand probes.
+    static constexpr std::size_t op_deadline_stride = 1024;
+    bool op_deadline_armed_ = false;
+    std::chrono::steady_clock::time_point op_deadline_{};
+    std::size_t op_deadline_countdown_ = 0;
     bdd_stats stats_;
     std::vector<char> mark_; ///< scratch for GC / traversals
     std::vector<std::uint32_t> gc_worklist_; ///< reused GC mark worklist
+    /// Epoch-stamped visited marks + DFS stack for dag_size_at_least: the
+    /// probe runs on every parallel-image operand, so it reuses these
+    /// instead of building a hash set per call.
+    std::vector<std::uint32_t> size_probe_stamp_;
+    std::vector<std::uint32_t> size_probe_stack_;
+    std::uint32_t size_probe_epoch_ = 0;
 
     // live only during a reordering call
     std::vector<std::uint32_t> rc_;                    ///< internal ref counts

@@ -1,0 +1,86 @@
+/// \file transfer.cpp
+/// \brief Cross-manager DAG copy (see transfer.hpp for the contract).
+
+#include "bdd/transfer.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+
+namespace leq {
+
+/// The one friend of bdd_manager that may read a foreign arena: it needs
+/// the raw tagged-edge accessors on the source and `mk()` on the
+/// destination.  Everything stays inside this translation unit.
+class bdd_transfer_access {
+public:
+    static bdd transfer(bdd_manager& src, const bdd& handle,
+                        bdd_manager& dst, std::size_t& transferred_nodes) {
+        dst.checked_thread_guard("bdd_transfer");
+        if (!handle.valid() || handle.manager() != &src) {
+            throw std::invalid_argument(
+                "bdd_transfer: handle does not belong to the source manager");
+        }
+        if (&src == &dst) {
+            transferred_nodes = 0;
+            return handle;
+        }
+        if (src.num_vars() != dst.num_vars()) {
+            throw std::invalid_argument(
+                "bdd_transfer: managers disagree on num_vars");
+        }
+        for (std::uint32_t v = 0; v < src.num_vars(); ++v) {
+            if (src.level_of(v) != dst.level_of(v)) {
+                throw std::invalid_argument(
+                    "bdd_transfer: managers disagree on the variable order");
+            }
+        }
+        // let the destination grow/collect now: mk() below never GCs, so
+        // the memoized intermediate references cannot be swept mid-copy
+        dst.maybe_gc_or_grow();
+        std::unordered_map<std::uint32_t, std::uint32_t> memo;
+        const std::uint32_t root = handle.index();
+        const std::uint32_t out =
+            copy_rec(src, bdd_manager::regular(root), dst, memo) ^
+            bdd_manager::comp_of(root);
+        transferred_nodes = memo.size();
+        return dst.make(out);
+    }
+
+private:
+    /// Copy the node addressed by the *regular* reference `r`, returning a
+    /// regular destination reference.  Regularity is inductive: the stored
+    /// then-edge is regular in the source (canonical form), its copy is
+    /// regular by induction, and `mk()` hoists any then-complement — so no
+    /// hoist ever happens and the invariant transfers verbatim.  Recursion
+    /// depth is bounded by the number of levels (the source is ordered).
+    static std::uint32_t copy_rec(
+        bdd_manager& src, std::uint32_t r, bdd_manager& dst,
+        std::unordered_map<std::uint32_t, std::uint32_t>& memo) {
+        if (r == 0) { return 0; } // the terminal, FALSE as a regular ref
+        const std::uint32_t idx = bdd_manager::node_of(r);
+        const auto it = memo.find(idx);
+        if (it != memo.end()) { return it->second; }
+        const std::uint32_t lo = src.lo_of(r);
+        const std::uint32_t hi = src.hi_of(r);
+        const std::uint32_t lo_copy =
+            copy_rec(src, bdd_manager::regular(lo), dst, memo) ^
+            bdd_manager::comp_of(lo);
+        const std::uint32_t hi_copy = copy_rec(src, hi, dst, memo);
+        const std::uint32_t out = dst.mk(src.var_of(r), lo_copy, hi_copy);
+        memo.emplace(idx, out);
+        return out;
+    }
+};
+
+bdd bdd_transfer(bdd_manager& src, const bdd& handle, bdd_manager& dst) {
+    std::size_t ignored = 0;
+    return bdd_transfer_access::transfer(src, handle, dst, ignored);
+}
+
+bdd bdd_transfer(bdd_manager& src, const bdd& handle, bdd_manager& dst,
+                 std::size_t& transferred_nodes) {
+    return bdd_transfer_access::transfer(src, handle, dst,
+                                         transferred_nodes);
+}
+
+} // namespace leq

@@ -1,0 +1,53 @@
+/// \file transfer.hpp
+/// \brief Deterministic cross-manager BDD DAG copy.
+///
+/// `bdd_transfer` is the **only sanctioned way a function crosses
+/// managers** (docs/ARCHITECTURE.md "Concurrency model").  Raw handle
+/// reuse against a foreign manager indexes the wrong arena and silently
+/// corrupts the unique table — LEQ_CHECKED builds abort on it, and
+/// `.leq_lint` confines every concurrency seam that would need it to the
+/// two sanctioned pools.  The transfer walks the source DAG once with a
+/// per-call node memo, rebuilding each node through the destination's
+/// unique table, so:
+///
+///  * shared subgraphs stay shared (one destination node per source node),
+///  * complement-edge canonicity is preserved — regular references map to
+///    regular references, and the complement bit of the root travels on
+///    the returned handle, exactly as `mk()` hoists it everywhere else,
+///  * the result is canonical in the destination: transferring the same
+///    function twice yields the same reference, and a round trip
+///    src -> dst -> src returns the original handle.
+///
+/// Threading contract: call on the **destination manager's owner thread**
+/// (checked builds enforce it).  The source manager is only read, but it
+/// must be quiescent for the duration — no thread may be mutating it.  The
+/// image pool (src/img/parallel.cpp) guarantees this with its fork/join
+/// barriers: workers read the coordinator's manager only while the
+/// coordinator blocks, and vice versa.
+#pragma once
+
+#include "bdd/bdd.hpp"
+
+#include <cstddef>
+
+namespace leq {
+
+/// Copy `handle` (a function owned by `src`) into `dst` and return the
+/// destination handle.  `src` and `dst` must agree on num_vars and on the
+/// variable order (the copy is level-by-level; a different order would
+/// require a full reordering pass, which this deliberately is not).
+/// Throws std::invalid_argument on an invalid handle, a handle foreign to
+/// `src`, or a variable-order mismatch.  `src == dst` returns a plain
+/// copy of the handle.
+[[nodiscard]] bdd bdd_transfer(bdd_manager& src, const bdd& handle,
+                               bdd_manager& dst);
+
+/// As above, also reporting the number of nonterminal source nodes the
+/// copy visited (== the per-call memo size).  Deterministic: depends only
+/// on the function's DAG, not on destination state — the transfer_nodes
+/// counters in solve_stats sum these.
+[[nodiscard]] bdd bdd_transfer(bdd_manager& src, const bdd& handle,
+                               bdd_manager& dst,
+                               std::size_t& transferred_nodes);
+
+} // namespace leq

@@ -13,6 +13,7 @@
 #include "eq/solver.hpp"
 #include "gen/scenario.hpp"
 #include "img/image.hpp"
+#include "img/parallel.hpp"
 #include "net/blif.hpp"
 #include "net/generator.hpp"
 #include "net/latch_split.hpp"
@@ -22,6 +23,7 @@
 #include <chrono>
 #include <cmath>
 #include <map>
+#include <memory>
 #include <stdexcept>
 #include <utility>
 
@@ -101,6 +103,16 @@ image_options strategy_options(reach_strategy strategy) {
     return img;
 }
 
+/// The `parallel/*` rows vary only the image engine: "before" is the
+/// sequential path, "after" the `--solve-jobs 4` pool.  The deterministic
+/// counters (reach/subset states, images, parallel chunk and transfer
+/// totals) are gated; the wall-clock speedup is the info-only payoff.
+image_options parallel_options(std::size_t jobs) {
+    image_options img;
+    img.solve_jobs = jobs;
+    return img;
+}
+
 /// Solve one scaled gen/ scenario with the partitioned flow.
 bench_row run_solve_scenario(const std::string& id, scenario_family family,
                              std::uint32_t seed, std::uint32_t scale,
@@ -123,6 +135,12 @@ bench_row run_solve_scenario(const std::string& id, scenario_family family,
     if (img.strategy == reach_strategy::saturation) {
         add(row, "saturation_fires",
             static_cast<double>(result.stats.saturation_fires));
+    }
+    if (img.solve_jobs > 0) {
+        add(row, "parallel_chunks",
+            static_cast<double>(result.stats.parallel_chunks));
+        add(row, "transfer_nodes",
+            static_cast<double>(result.stats.transfer_nodes));
     }
     add_manager_metrics(row, problem.mgr());
     return row;
@@ -152,6 +170,23 @@ network reach_circuit() {
     spec.num_outputs = 6;
     spec.num_latches = 26;
     spec.seed = 29;
+    spec.full_observation = true;
+    spec.chained_enables = false;
+    return make_structured_mix(spec);
+}
+
+/// Frontier-heavy mix for the parallel rows: this seed's frontier wave
+/// peaks around 17k nodes — four consecutive BFS layers clear the image
+/// engine's 8192-node dispatch floor — so the "after" row genuinely
+/// drives chunk splitting and cross-manager transfer.  The reach_circuit
+/// wave above tops out near 4k nodes and would stay entirely on the
+/// sequential fallback.
+network parallel_reach_circuit() {
+    structured_spec spec;
+    spec.num_inputs = 4;
+    spec.num_outputs = 5;
+    spec.num_latches = 26;
+    spec.seed = 3;
     spec.full_observation = true;
     spec.chained_enables = false;
     return make_structured_mix(spec);
@@ -195,8 +230,17 @@ bench_row run_reach(const std::string& id, const network& net,
     }
     const net_bdds fns = build_net_bdds(mgr, net, in, cs);
     const bdd init = state_cube(mgr, cs, net.initial_state());
-    transition_relation relation =
-        transition_relation::next_state(mgr, fns.next_state, cs, ns, in, img);
+    // the prebuilt-relation path does not spawn an image pool itself (see
+    // reachable_states_layered); wire one here when the row asks for it,
+    // declared before the relation so it outlives the forget() callback
+    image_options local = img;
+    std::unique_ptr<image_pool> pool;
+    if (local.solve_jobs > 0 && local.executor == nullptr) {
+        pool = std::make_unique<image_pool>(local.solve_jobs);
+        local.executor = pool.get();
+    }
+    transition_relation relation = transition_relation::next_state(
+        mgr, fns.next_state, cs, ns, in, local);
     relation.rename_image_to_current();
     const reach_info info = reachable_states_layered(
         relation, init, static_cast<std::uint32_t>(cs.size()));
@@ -206,6 +250,12 @@ bench_row run_reach(const std::string& id, const network& net,
     if (img.strategy == reach_strategy::saturation) {
         add(row, "saturation_fires",
             static_cast<double>(relation.stats().saturation_fires));
+    }
+    if (img.solve_jobs > 0) {
+        add(row, "parallel_chunks",
+            static_cast<double>(relation.stats().parallel_chunks));
+        add(row, "transfer_nodes",
+            static_cast<double>(relation.stats().transfer_nodes));
     }
     add_manager_metrics(row, mgr);
     return row;
@@ -315,6 +365,11 @@ metric_policy bench_metric_policy(const std::string& name) {
     if (name == "saturation_fires") {
         return {metric_direction::exact, 0.0, 0.0};
     }
+    // deterministic parallel-engine counters: identical for every
+    // --solve-jobs N by construction, so any drift is an engine change
+    if (name == "parallel_chunks" || name == "transfer_nodes") {
+        return {metric_direction::exact, 0.0, 0.0};
+    }
     if (name == "gc_runs") { return {metric_direction::up_bad, 0.10, 2.0}; }
     if (name == "allocated_nodes") {
         return {metric_direction::up_bad, 0.10, 4096.0};
@@ -354,6 +409,10 @@ std::vector<std::string> bench_workload_names() {
         "saturation/reach_lfsr14/after",
         "saturation/solve_counter_x256/before",
         "saturation/solve_counter_x256/after",
+        "parallel/reach_mix26/before",
+        "parallel/reach_mix26/after",
+        "parallel/solve_counter_x256/before",
+        "parallel/solve_counter_x256/after",
     };
 }
 
@@ -448,6 +507,29 @@ bench_row run_bench_workload(const std::string& workload) {
             workload, scenario_family::counter, 3, 256,
             problem_manager_defaults(),
             strategy_options(reach_strategy::saturation));
+    }
+    // parallel story: same workload and memory discipline, sequential
+    // image engine versus the four-worker pool (counters must not move —
+    // the engine is deterministic — only the wall clock may)
+    if (workload == "parallel/reach_mix26/before") {
+        return run_reach(workload, parallel_reach_circuit(),
+                         bdd_manager_options{});
+    }
+    if (workload == "parallel/reach_mix26/after") {
+        return run_reach(workload, parallel_reach_circuit(),
+                         bdd_manager_options{}, parallel_options(4));
+    }
+    // the solve rows pin the cooperative fallback: subset-construction
+    // images sit under the operand-size floor, so the pool must cost
+    // (almost) nothing and change no solver counter
+    if (workload == "parallel/solve_counter_x256/before") {
+        return run_solve_scenario(workload, scenario_family::counter, 3, 256,
+                                  problem_manager_defaults());
+    }
+    if (workload == "parallel/solve_counter_x256/after") {
+        return run_solve_scenario(workload, scenario_family::counter, 3, 256,
+                                  problem_manager_defaults(),
+                                  parallel_options(4));
     }
     throw std::invalid_argument("unknown bench workload '" + workload + "'");
 }

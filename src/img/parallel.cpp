@@ -1,0 +1,267 @@
+/// \file parallel.cpp
+/// \brief image_pool internals: the second sanctioned concurrency seam
+/// (the first is the shared-nothing batch pool, src/cli/batch.cpp).
+///
+/// Confinement rules this file lives by (docs/ARCHITECTURE.md):
+///  * a replica manager is only ever touched by the worker thread that
+///    constructed it — including handle copies and destruction, which is
+///    why workers clear their own result/relation caches at the start of
+///    the *next* job (or at shutdown) rather than the coordinator doing it;
+///  * the coordinator's manager is read by workers only while the
+///    coordinator is blocked inside map_images (fork/join quiescence),
+///    and only through `bdd_transfer`, never through raw handle reuse;
+///  * coordinator-side mutations (result transfer, OR-merge) happen in
+///    chunk index order, so the coordinator manager's state is identical
+///    whatever the worker count or claim interleaving was.
+
+#include "img/parallel.hpp"
+
+#include "bdd/transfer.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+
+namespace leq {
+
+struct image_pool::impl {
+    /// One fork/join dispatch.  `error`/`failed`: the first worker to hit
+    /// an exception (a blown deadline, a node-limit overflow) records it
+    /// and flips the flag; the others stop claiming and the coordinator
+    /// rethrows after the join.
+    struct job {
+        const transition_relation* relation = nullptr;
+        const std::vector<bdd>* chunks = nullptr;
+        bool preimage = false;
+        /// Coordinator manager's variable order (var id per level): the
+        /// replica-compatibility stamp bdd_transfer requires.
+        std::vector<std::uint32_t> order;
+        std::atomic<std::size_t> next{0};
+        std::atomic<bool> failed{false};
+        std::atomic<std::size_t> chunk_transfer_nodes{0};
+        std::exception_ptr error; ///< guarded by impl::m
+    };
+
+    /// Per-source-relation replica state: the transferred clusters and
+    /// the relations rebuilt over them (image / preimage quantify sets).
+    /// Clustering is disabled on the rebuild (cluster_limit 0, early
+    /// quantification on) so the replica conjoins exactly the clusters
+    /// the source scheduled, not some re-merged variant.
+    struct replica_relation {
+        bool clusters_ready = false;
+        std::vector<bdd> clusters;
+        std::optional<transition_relation> image_rel;
+        std::optional<transition_relation> preimage_rel;
+    };
+
+    /// Everything a worker thread owns.  Only that thread touches `mgr`,
+    /// `rels` and the handles in `results`; the coordinator reads
+    /// `results` strictly after the join barrier.
+    struct worker_state {
+        std::unique_ptr<bdd_manager> mgr;
+        std::vector<std::uint32_t> order; ///< order `mgr` was built with
+        std::map<const transition_relation*, replica_relation> rels;
+        std::vector<std::pair<std::size_t, bdd>> results;
+        std::size_t forgets_seen = 0; ///< consumed prefix of forget_log
+    };
+
+    std::mutex m;
+    std::condition_variable work_cv;
+    std::condition_variable done_cv;
+    job* current = nullptr;       ///< guarded by m
+    std::uint64_t generation = 0; ///< guarded by m; bumps per dispatch
+    std::size_t done_count = 0;   ///< guarded by m
+    bool stop = false;            ///< guarded by m
+    /// Addresses of destroyed relations (relation dtor -> forget()).  Kept
+    /// as a grow-only log with a per-worker consumed index, because each
+    /// worker must erase its own replica entries on its own thread.
+    std::vector<const transition_relation*> forget_log;
+    std::vector<worker_state> states;
+    std::vector<std::thread> threads;
+
+    void worker_main(std::size_t id);
+    void run_job(worker_state& s, job& j);
+};
+
+void image_pool::impl::worker_main(std::size_t id) {
+    worker_state& s = states[id];
+    std::uint64_t seen = 0;
+    for (;;) {
+        job* j = nullptr;
+        {
+            std::unique_lock<std::mutex> lk(m);
+            work_cv.wait(lk, [&] { return stop || generation != seen; });
+            if (generation != seen) {
+                seen = generation;
+                j = current;
+            } else {
+                // shutdown: every replica handle and the replica manager
+                // must die on this thread, their owner
+                s.rels.clear();
+                s.results.clear();
+                s.mgr.reset();
+                return;
+            }
+        }
+        run_job(s, *j);
+        {
+            std::lock_guard<std::mutex> lk(m);
+            if (++done_count == states.size()) { done_cv.notify_all(); }
+        }
+    }
+}
+
+void image_pool::impl::run_job(worker_state& s, job& j) {
+    // housekeeping first, on the owner thread: drop replica relations for
+    // source relations that died (before the address lookup below, so a
+    // reused address can never hit a stale replica), then the previous
+    // job's result handles
+    {
+        std::lock_guard<std::mutex> lk(m);
+        for (; s.forgets_seen < forget_log.size(); ++s.forgets_seen) {
+            s.rels.erase(forget_log[s.forgets_seen]);
+        }
+    }
+    s.results.clear();
+    try {
+        if (!s.mgr || s.order != j.order) {
+            // the coordinator's variable universe changed: start over
+            // (handles first, then the manager they point into)
+            s.rels.clear();
+            s.mgr = std::make_unique<bdd_manager>(
+                static_cast<std::uint32_t>(j.order.size()));
+            s.mgr->set_var_order(j.order);
+            s.order = j.order;
+        }
+        bdd_manager& src = j.relation->manager();
+        replica_relation& r = s.rels[j.relation];
+        if (!r.clusters_ready) {
+            r.clusters.reserve(j.relation->cluster_bdds().size());
+            for (const bdd& c : j.relation->cluster_bdds()) {
+                r.clusters.push_back(bdd_transfer(src, c, *s.mgr));
+            }
+            r.clusters_ready = true;
+        }
+        std::optional<transition_relation>& slot =
+            j.preimage ? r.preimage_rel : r.image_rel;
+        if (!slot) {
+            image_options o = j.relation->options();
+            o.executor = nullptr;
+            o.solve_jobs = 0;
+            o.early_quantification = true;
+            o.policy = cluster_policy::none;
+            o.cluster_limit = 0; // keep the transferred clusters verbatim
+            o.collect_stats = false;
+            o.fault_suppress_var = image_options::no_fault;
+            slot.emplace(*s.mgr, r.clusters,
+                         j.preimage ? j.relation->preimage_quantify()
+                                    : j.relation->image_quantify(),
+                         o);
+        }
+        // claim-and-image loop; `image()` on the generic replica relation
+        // is exactly `exists quantify . AND clusters & chunk`, for both
+        // the image and the preimage quantify set (the coordinator already
+        // applied the cs/ns swap to preimage chunks)
+        const transition_relation& rr = *slot;
+        for (;;) {
+            if (j.failed.load(std::memory_order_relaxed)) { break; }
+            const std::size_t i =
+                j.next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= j.chunks->size()) { break; }
+            std::size_t moved = 0;
+            const bdd local = bdd_transfer(src, (*j.chunks)[i], *s.mgr,
+                                           moved);
+            j.chunk_transfer_nodes.fetch_add(moved,
+                                             std::memory_order_relaxed);
+            s.results.emplace_back(i, rr.image(local));
+        }
+    } catch (...) {
+        std::lock_guard<std::mutex> lk(m);
+        if (!j.error) { j.error = std::current_exception(); }
+        j.failed.store(true);
+    }
+}
+
+image_pool::image_pool(std::size_t workers)
+    : impl_(std::make_unique<impl>()) {
+    const std::size_t n = workers == 0 ? 1 : workers;
+    impl_->states.resize(n);
+    impl_->threads.reserve(n);
+    for (std::size_t k = 0; k < n; ++k) {
+        impl_->threads.emplace_back(
+            [this, k] { impl_->worker_main(k); });
+    }
+}
+
+image_pool::~image_pool() {
+    {
+        std::lock_guard<std::mutex> lk(impl_->m);
+        impl_->stop = true;
+    }
+    impl_->work_cv.notify_all();
+    for (std::thread& t : impl_->threads) { t.join(); }
+}
+
+std::vector<bdd> image_pool::map_images(const transition_relation& relation,
+                                        const std::vector<bdd>& chunks,
+                                        bool preimage) {
+    impl& p = *impl_;
+    bdd_manager& mgr = relation.manager();
+    impl::job j;
+    j.relation = &relation;
+    j.chunks = &chunks;
+    j.preimage = preimage;
+    j.order.reserve(mgr.num_vars());
+    for (std::uint32_t lvl = 0; lvl < mgr.num_vars(); ++lvl) {
+        j.order.push_back(mgr.var_at_level(lvl));
+    }
+    {
+        std::lock_guard<std::mutex> lk(p.m);
+        p.current = &j;
+        p.done_count = 0;
+        ++p.generation;
+    }
+    p.work_cv.notify_all();
+    {
+        std::unique_lock<std::mutex> lk(p.m);
+        p.done_cv.wait(lk, [&] { return p.done_count == p.states.size(); });
+        p.current = nullptr;
+    }
+    // workers are parked again: their managers are quiescent and their
+    // results safely readable
+    if (j.failed.load()) { std::rethrow_exception(j.error); }
+    std::vector<std::pair<bdd_manager*, const bdd*>> sources(
+        chunks.size(), {nullptr, nullptr});
+    for (impl::worker_state& s : p.states) {
+        for (const auto& [idx, handle] : s.results) {
+            sources[idx] = {s.mgr.get(), &handle};
+        }
+    }
+    // transfer back in chunk index order — NOT worker order — so the
+    // coordinator manager allocates result nodes in the same order
+    // whatever the claim interleaving was; this is what makes the
+    // downstream cache/GC counters worker-count-independent
+    std::vector<bdd> out;
+    out.reserve(chunks.size());
+    std::size_t result_nodes = 0;
+    for (const auto& [replica, handle] : sources) {
+        std::size_t moved = 0;
+        out.push_back(bdd_transfer(*replica, *handle, mgr, moved));
+        result_nodes += moved;
+    }
+    relation.record_transfer_nodes(j.chunk_transfer_nodes.load() +
+                                   result_nodes);
+    return out;
+}
+
+void image_pool::forget(const transition_relation& relation) {
+    std::lock_guard<std::mutex> lk(impl_->m);
+    impl_->forget_log.push_back(&relation);
+}
+
+} // namespace leq

@@ -1,0 +1,68 @@
+/// \file parallel.hpp
+/// \brief The task-parallel image pool (`leq --solve-jobs N`).
+///
+/// `image_pool` is the one implementation of the relation layer's
+/// `parallel_image_executor` seam: a fixed crew of persistent workers,
+/// each owning a **replica** `bdd_manager` confined to its thread (the
+/// one-manager-per-thread rule is never bent, only multiplied).  A
+/// dispatch is fork/join:
+///
+///  1. The coordinator (the relation's owner thread) splits the frontier
+///     into a fixed, worker-count-independent chunk list and blocks.
+///  2. Every worker claims chunk indices off a shared atomic, copies each
+///     chunk into its replica with `bdd_transfer` (the coordinator's
+///     manager is quiescent — it is blocked in this very call), runs the
+///     image over its replica relation (rebuilt once per relation from
+///     the transferred clusters, cached by relation address), and parks.
+///  3. The coordinator transfers the per-chunk results back **in chunk
+///     index order** and the relation OR-merges them in that same order —
+///     so the result function, the coordinator manager's node allocation
+///     order, and every downstream counter are byte-identical for every
+///     worker count.
+///
+/// Deadlines are honored cooperatively: workers inherit the relation's
+/// absolute deadline (their replica schedules arm the op-level deadline,
+/// so even one long and_exists is interrupted), the first blown worker
+/// flags the job, the rest stop claiming, and the coordinator rethrows
+/// `relation_deadline_exceeded` after the join.
+///
+/// All threading machinery lives behind the pimpl in parallel.cpp — the
+/// only translation unit besides the batch pool sanctioned to use
+/// concurrency primitives (`.leq_lint`).
+#pragma once
+
+#include "rel/relation.hpp"
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace leq {
+
+/// Work pool of replica-manager image workers.  Construct one per solve
+/// (the solvers do this when `solve_options::img.solve_jobs > 0`), point
+/// `image_options::executor` at it, and keep it alive until every
+/// relation built with those options is gone — relation destructors call
+/// back into `forget()`.
+class image_pool final : public parallel_image_executor {
+public:
+    /// Spawn `workers` persistent worker threads (0 is promoted to 1 —
+    /// even a single worker runs the full replica protocol, which is what
+    /// keeps `--solve-jobs 1` byte-identical to every other N).
+    explicit image_pool(std::size_t workers);
+    ~image_pool() override;
+
+    image_pool(const image_pool&) = delete;
+    image_pool& operator=(const image_pool&) = delete;
+
+    [[nodiscard]] std::vector<bdd>
+    map_images(const transition_relation& relation,
+               const std::vector<bdd>& chunks, bool preimage) override;
+    void forget(const transition_relation& relation) override;
+
+private:
+    struct impl;
+    std::unique_ptr<impl> impl_;
+};
+
+} // namespace leq

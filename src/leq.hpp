@@ -14,6 +14,7 @@
 #pragma once
 
 #include "bdd/bdd.hpp"
+#include "bdd/transfer.hpp"
 
 #include "net/blif.hpp"
 #include "net/compose.hpp"
@@ -28,6 +29,7 @@
 #include "rel/schedule.hpp"
 
 #include "img/image.hpp"
+#include "img/parallel.hpp"
 
 #include "automata/automaton.hpp"
 #include "automata/automaton_io.hpp"

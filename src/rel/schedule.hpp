@@ -41,6 +41,14 @@ struct relation_stats {
     /// fixpoint that discovered at least one new state (counted by the
     /// fixpoint loop via `transition_relation::record_saturation_fire`).
     std::size_t saturation_fires = 0;
+    /// Parallel-image bookkeeping (solve_jobs > 0 only; see
+    /// parallel_image_executor in rel/relation.hpp).  `parallel_chunks` is
+    /// the number of frontier chunks dispatched to the image pool;
+    /// `transfer_nodes` the nonterminal nodes crossing managers for those
+    /// dispatches (chunks out + results back).  Both are deterministic:
+    /// the chunking is independent of the worker count.
+    std::size_t parallel_chunks = 0;
+    std::size_t transfer_nodes = 0;
 };
 
 /// An executable quantification schedule (order + per-cluster retire cubes).
@@ -54,8 +62,14 @@ public:
                    const std::vector<std::uint32_t>& quantify,
                    bool sequential);
 
-    /// exists quantify . (AND clusters) & from.  Checks `deadline` between
-    /// chain steps; `stats` (optional) receives peak intermediate sizes.
+    /// exists quantify . (AND clusters) & from.  Checks `deadline` before
+    /// the leading quantification and between chain steps, *and* arms the
+    /// manager's op-level deadline for the duration — so a single long
+    /// and_exists run is interrupted from the inside instead of running to
+    /// completion past the budget.  A bdd_deadline_exceeded thrown by the
+    /// manager (including one from a manually armed set_op_deadline) is
+    /// translated to relation_deadline_exceeded.  `stats` (optional)
+    /// receives peak intermediate sizes.
     [[nodiscard]] bdd apply(const bdd& from, const relation_deadline& deadline,
                             relation_stats* stats) const {
         return apply(from, nullptr, deadline, stats);
@@ -96,6 +110,12 @@ public:
     void describe(bdd_manager& mgr, relation_stats& stats) const;
 
 private:
+    /// The chain itself (leading quantification + n-ary steps); apply()
+    /// wraps it with the op-deadline guard and the exception translation.
+    [[nodiscard]] bdd apply_steps(const bdd& from, const bdd* constraint,
+                                  const relation_deadline& deadline,
+                                  relation_stats* stats) const;
+
     bdd_manager* mgr_ = nullptr;
     std::vector<bdd> clusters_; ///< scheduled order
     std::vector<bdd> cubes_;    ///< per cluster: cube of `retired_[k]`

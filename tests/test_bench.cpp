@@ -3,10 +3,10 @@
 /// deterministic, the JSON schema round-trips, the compare gate fails on
 /// genuine regressions (and only those), the checked-in corpus is
 /// byte-identical to what the generators produce, and the checked-in
-/// BENCH_PR9.json baseline still parses with its before/after rows.
+/// BENCH_PR10.json baseline still parses with its before/after rows.
 ///
 /// Compiled with LEQ_SOURCE_DIR pointing at the repo root so the suite can
-/// read bench/corpus/ and BENCH_PR9.json.
+/// read bench/corpus/ and BENCH_PR10.json.
 
 #include "cli/bench.hpp"
 #include "gen/scenario.hpp"
@@ -278,8 +278,8 @@ TEST(bench_artifacts, corpus_files_match_the_generators_byte_for_byte) {
 }
 
 TEST(bench_artifacts, checked_in_baseline_parses_and_pins_the_wins) {
-    const std::string json = repo_file("BENCH_PR9.json");
-    ASSERT_FALSE(json.empty()) << "BENCH_PR9.json missing at the repo root";
+    const std::string json = repo_file("BENCH_PR10.json");
+    ASSERT_FALSE(json.empty()) << "BENCH_PR10.json missing at the repo root";
     const bench_report baseline = parse_bench_report(json);
     EXPECT_EQ(baseline.schema, "leq-bench-v1");
 

@@ -158,6 +158,27 @@ std::string temp_path(const char* name) {
     return testing::TempDir() + name;
 }
 
+std::string corpus(const std::string& file) {
+    return std::string(LEQ_SOURCE_DIR) + "/bench/corpus/" + file;
+}
+
+/// Blank the `"solve_jobs":N` value — the one field that legitimately
+/// differs between `--solve-jobs N` runs of the same instance.
+std::string mask_solve_jobs(std::string text) {
+    const std::string needle = "\"solve_jobs\":";
+    std::size_t at = text.find(needle);
+    while (at != std::string::npos) {
+        std::size_t to = at + needle.size();
+        while (to < text.size() &&
+               std::isdigit(static_cast<unsigned char>(text[to])) != 0) {
+            text[to] = '#';
+            ++to;
+        }
+        at = text.find(needle, to);
+    }
+    return text;
+}
+
 // ---------------------------------------------------------------------------
 // solve
 // ---------------------------------------------------------------------------
@@ -235,6 +256,90 @@ TEST(cli_solve, saturation_strategy_is_accepted_and_echoed) {
         run({"solve", "gen:chaincounter:2", "--no-timing"});
     EXPECT_EQ(frontier.exit_code, 0) << frontier.err;
     EXPECT_EQ(raw_field(first_line(frontier.out), "saturation_fires"), "");
+}
+
+TEST(cli_solve, solve_jobs_flag_is_echoed_and_counters_gated) {
+    const cli_run r = run({"solve", "gen:chaincounter:2", "--solve-jobs",
+                           "2", "--no-timing"});
+    EXPECT_EQ(r.exit_code, 0) << r.err;
+    const std::string line = first_line(r.out);
+    EXPECT_TRUE(valid_json_object(line)) << line;
+    EXPECT_EQ(raw_field(line, "solve_jobs"), "2");
+    // the deterministic parallel counters ride in the stats block
+    EXPECT_NE(raw_field(line, "parallel_chunks"), "") << line;
+    EXPECT_NE(raw_field(line, "transfer_nodes"), "") << line;
+
+    // without the flag the engine is sequential and the counters stay out
+    const cli_run seq = run({"solve", "gen:chaincounter:2", "--no-timing"});
+    EXPECT_EQ(seq.exit_code, 0) << seq.err;
+    const std::string seq_line = first_line(seq.out);
+    EXPECT_EQ(raw_field(seq_line, "solve_jobs"), "0");
+    EXPECT_EQ(raw_field(seq_line, "parallel_chunks"), "");
+    EXPECT_EQ(raw_field(seq_line, "transfer_nodes"), "");
+    // and apart from that echo and those counters, the outputs agree
+    EXPECT_EQ(raw_field(line, "csf_states"), raw_field(seq_line, "csf_states"));
+    EXPECT_EQ(raw_field(line, "subset_states"),
+              raw_field(seq_line, "subset_states"));
+    EXPECT_EQ(raw_field(line, "images"), raw_field(seq_line, "images"));
+}
+
+TEST(cli_errors, solve_jobs_rejects_zero_and_garbage) {
+    // 0 would silently mean "sequential", masking typos — the sequential
+    // engine is the absence of the flag
+    const cli_run zero = run({"solve", "gen:chaincounter:2", "--solve-jobs",
+                              "0"});
+    EXPECT_EQ(zero.exit_code, 2);
+    EXPECT_NE(zero.err.find("--solve-jobs must be at least 1"),
+              std::string::npos)
+        << zero.err;
+    const cli_run garbage = run({"solve", "gen:chaincounter:2",
+                                 "--solve-jobs", "2x"});
+    EXPECT_EQ(garbage.exit_code, 2);
+}
+
+TEST(cli_solve, solve_jobs_output_byte_identical_on_the_bench_corpus) {
+    // the PR-10 acceptance pin: every solve pair of the bench corpus,
+    // solved at --solve-jobs 1/2/4/8, emits byte-identical JSON (the
+    // solve_jobs echo itself masked), and masking it away also matches the
+    // sequential engine byte for byte
+    const std::vector<std::pair<std::string, std::string>> pairs = {
+        {corpus("counter_x256_f.blif"), corpus("counter_x256_s.blif")},
+        {corpus("counter9_f.kiss"), corpus("counter9_s.kiss")},
+        {corpus("arbiter_x16_f.blif"), corpus("arbiter_x16_s.blif")},
+    };
+    for (const auto& [f, s] : pairs) {
+        const cli_run seq = run({"solve", f, s, "--no-timing"});
+        ASSERT_EQ(seq.exit_code, 0) << seq.err;
+        const std::string reference = mask_solve_jobs(seq.out);
+        std::string ref_chunks, ref_transfer;
+        for (const char* jobs : {"1", "2", "4", "8"}) {
+            const cli_run r =
+                run({"solve", f, s, "--no-timing", "--solve-jobs", jobs});
+            ASSERT_EQ(r.exit_code, 0) << r.err;
+            // the counters are gated on the flag, so mask them out of the
+            // parallel run before the byte comparison with the sequential
+            // reference
+            std::string out = mask_solve_jobs(r.out);
+            const std::string chunks =
+                raw_field(first_line(r.out), "parallel_chunks");
+            const std::string transfer =
+                raw_field(first_line(r.out), "transfer_nodes");
+            const std::string gated = ",\"parallel_chunks\":" + chunks +
+                                      ",\"transfer_nodes\":" + transfer;
+            const std::size_t at = out.find(gated);
+            ASSERT_NE(at, std::string::npos) << out;
+            out.erase(at, gated.size());
+            EXPECT_EQ(out, reference) << f << " jobs " << jobs;
+            // and the gated counters themselves are N-independent
+            if (jobs[0] == '1') {
+                ref_chunks = chunks;
+                ref_transfer = transfer;
+            } else {
+                EXPECT_EQ(chunks, ref_chunks) << f << " jobs " << jobs;
+                EXPECT_EQ(transfer, ref_transfer) << f << " jobs " << jobs;
+            }
+        }
+    }
 }
 
 TEST(cli_solve, gen_spec_generates_and_solves) {

@@ -1,0 +1,248 @@
+/// \file test_parallel.cpp
+/// \brief The task-parallel image engine (`image_pool` + the relation
+/// layer's chunk/dispatch/merge protocol): results must be byte-identical
+/// to the sequential chain for every worker count, the deterministic
+/// counters (parallel_chunks / transfer_nodes) must not depend on the
+/// worker count, replica state must survive relation churn, deadlines must
+/// be honored cooperatively, and operands under the fan-out floor must
+/// take the sequential path unchanged.
+
+#include "img/image.hpp"
+#include "img/parallel.hpp"
+#include "net/generator.hpp"
+#include "net/netbdd.hpp"
+#include "rel/relation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using namespace leq;
+
+struct circuit_vars {
+    std::vector<std::uint32_t> in, cs, ns;
+};
+
+std::pair<net_bdds, circuit_vars> setup(bdd_manager& mgr, const network& net) {
+    circuit_vars vars;
+    for (std::size_t k = 0; k < net.num_inputs(); ++k) {
+        vars.in.push_back(mgr.new_var());
+    }
+    for (std::size_t k = 0; k < net.num_latches(); ++k) {
+        vars.cs.push_back(mgr.new_var());
+        vars.ns.push_back(mgr.new_var());
+    }
+    net_bdds fns = build_net_bdds(mgr, net, vars.in, vars.cs);
+    return {std::move(fns), std::move(vars)};
+}
+
+/// A mix circuit whose frontiers comfortably clear the engine's
+/// operand-size floor, so the pool is genuinely exercised (asserted below
+/// via the parallel_chunks counter).
+network pool_circuit() {
+    structured_spec spec;
+    spec.num_inputs = 4;
+    spec.num_outputs = 5;
+    spec.num_latches = 26;
+    spec.seed = 3;
+    spec.full_observation = true;
+    return make_structured_mix(spec);
+}
+
+/// Relation over `fns` with an owned pool wired in when jobs > 0.
+struct engine {
+    std::unique_ptr<image_pool> pool;
+    std::unique_ptr<transition_relation> relation;
+
+    engine(bdd_manager& mgr, const net_bdds& fns, const circuit_vars& vars,
+           std::size_t jobs, image_options options = {}) {
+        options.solve_jobs = jobs;
+        if (jobs > 0) {
+            pool = std::make_unique<image_pool>(jobs);
+            options.executor = pool.get();
+        }
+        relation = std::make_unique<transition_relation>(
+            transition_relation::next_state(mgr, fns.next_state, vars.cs,
+                                            vars.ns, vars.in, options));
+        relation->rename_image_to_current();
+    }
+};
+
+TEST(parallel_image, fixpoint_byte_identical_across_worker_counts) {
+    const network net = pool_circuit();
+    bdd_manager mgr;
+    auto [fns, vars] = setup(mgr, net);
+    const bdd init = state_cube(mgr, vars.cs, net.initial_state());
+
+    image_options options;
+    const reach_info reference = reachable_states_layered(
+        mgr, fns.next_state, vars.cs, vars.ns, vars.in, init, options);
+    for (const std::size_t jobs : {1u, 2u, 4u, 8u}) {
+        options.solve_jobs = jobs;
+        const reach_info info = reachable_states_layered(
+            mgr, fns.next_state, vars.cs, vars.ns, vars.in, init, options);
+        // handle identity, not just logical equality: the parallel engine
+        // must drive the coordinator manager through the same allocations
+        EXPECT_EQ(info.reached, reference.reached) << "jobs " << jobs;
+        EXPECT_EQ(info.depth, reference.depth) << "jobs " << jobs;
+        EXPECT_EQ(info.layer_states, reference.layer_states);
+        EXPECT_DOUBLE_EQ(info.total_states, reference.total_states);
+    }
+}
+
+TEST(parallel_image, counters_are_worker_count_independent) {
+    const network net = pool_circuit();
+    bdd_manager mgr;
+    auto [fns, vars] = setup(mgr, net);
+    const bdd init = state_cube(mgr, vars.cs, net.initial_state());
+    const auto nbits = static_cast<std::uint32_t>(vars.cs.size());
+
+    std::size_t ref_chunks = 0, ref_transfer = 0;
+    for (const std::size_t jobs : {1u, 2u, 4u}) {
+        engine e(mgr, fns, vars, jobs);
+        (void)reachable_states_layered(*e.relation, init, nbits);
+        const relation_stats& s = e.relation->stats();
+        if (jobs == 1) {
+            ref_chunks = s.parallel_chunks;
+            ref_transfer = s.transfer_nodes;
+            // the circuit is sized to actually cross the fan-out floor
+            EXPECT_GT(ref_chunks, 0u);
+            EXPECT_GT(ref_transfer, 0u);
+        } else {
+            EXPECT_EQ(s.parallel_chunks, ref_chunks) << "jobs " << jobs;
+            EXPECT_EQ(s.transfer_nodes, ref_transfer) << "jobs " << jobs;
+        }
+    }
+}
+
+TEST(parallel_image, preimage_matches_sequential) {
+    const network net = pool_circuit();
+    bdd_manager mgr;
+    auto [fns, vars] = setup(mgr, net);
+    const bdd init = state_cube(mgr, vars.cs, net.initial_state());
+    const auto nbits = static_cast<std::uint32_t>(vars.cs.size());
+
+    engine seq(mgr, fns, vars, 0);
+    engine par(mgr, fns, vars, 3);
+    // preimage the full reached set — a large, shared-structure operand
+    const bdd reached =
+        reachable_states_layered(*seq.relation, init, nbits).reached;
+    EXPECT_EQ(par.relation->preimage(reached),
+              seq.relation->preimage(reached));
+    EXPECT_EQ(par.relation->image(reached), seq.relation->image(reached));
+}
+
+TEST(parallel_image, pool_outlives_relation_churn) {
+    // one pool, many relations: destructors must forget replica state so a
+    // later relation at a reused address cannot inherit stale clusters.
+    // Alternate between two different circuits to make any stale reuse
+    // visible as a wrong image, not just a perf bug.
+    const network net_a = pool_circuit();
+    structured_spec spec_b;
+    spec_b.num_inputs = 4;
+    spec_b.num_outputs = 5;
+    spec_b.num_latches = 26;
+    spec_b.seed = 11;
+    spec_b.full_observation = true;
+    const network net_b = make_structured_mix(spec_b);
+
+    bdd_manager mgr;
+    auto [fns_a, vars] = setup(mgr, net_a);
+    net_bdds fns_b = build_net_bdds(mgr, net_b, vars.in, vars.cs);
+    const bdd init = state_cube(mgr, vars.cs, net_a.initial_state());
+    const auto nbits = static_cast<std::uint32_t>(vars.cs.size());
+
+    engine ref_a(mgr, fns_a, vars, 0);
+    engine ref_b(mgr, fns_b, vars, 0);
+    const bdd reached_a =
+        reachable_states_layered(*ref_a.relation, init, nbits).reached;
+    const bdd reached_b =
+        reachable_states_layered(*ref_b.relation, init, nbits).reached;
+
+    image_pool pool(2);
+    for (int round = 0; round < 3; ++round) {
+        for (const bool use_b : {false, true}) {
+            image_options options;
+            options.solve_jobs = 2;
+            options.executor = &pool;
+            transition_relation relation = transition_relation::next_state(
+                mgr, (use_b ? fns_b : fns_a).next_state, vars.cs, vars.ns,
+                vars.in, options);
+            relation.rename_image_to_current();
+            const bdd reached =
+                reachable_states_layered(relation, init, nbits).reached;
+            EXPECT_EQ(reached, use_b ? reached_b : reached_a)
+                << "round " << round << " circuit " << (use_b ? "b" : "a");
+        }
+    }
+}
+
+TEST(parallel_image, deadline_honored_cooperatively) {
+    const network net = pool_circuit();
+    bdd_manager mgr;
+    auto [fns, vars] = setup(mgr, net);
+    const bdd init = state_cube(mgr, vars.cs, net.initial_state());
+    const auto nbits = static_cast<std::uint32_t>(vars.cs.size());
+
+    // grow a real frontier first so the deadline trips inside a pooled
+    // dispatch, not at the relation-construction check
+    engine warm(mgr, fns, vars, 2);
+    const bdd reached =
+        reachable_states_layered(*warm.relation, init, nbits).reached;
+
+    image_options options;
+    options.deadline = std::chrono::steady_clock::now() -
+                       std::chrono::milliseconds(10);
+    image_pool pool(2);
+    options.solve_jobs = 2;
+    options.executor = &pool;
+    EXPECT_THROW(
+        (void)transition_relation::next_state(mgr, fns.next_state, vars.cs,
+                                              vars.ns, vars.in, options),
+        relation_deadline_exceeded);
+
+    // a live relation whose budget expires after construction: the pooled
+    // dispatch must surface relation_deadline_exceeded from image(), and
+    // the pool must stay usable afterwards (fresh relation, fresh budget)
+    const auto soon = std::chrono::steady_clock::now() +
+                      std::chrono::milliseconds(400);
+    options.deadline = soon;
+    transition_relation relation = transition_relation::next_state(
+        mgr, fns.next_state, vars.cs, vars.ns, vars.in, options);
+    relation.rename_image_to_current();
+    std::this_thread::sleep_until(soon +
+                                  std::chrono::milliseconds(20)); // blow it
+    EXPECT_THROW((void)relation.image(reached), relation_deadline_exceeded);
+
+    options.deadline.reset();
+    transition_relation fresh = transition_relation::next_state(
+        mgr, fns.next_state, vars.cs, vars.ns, vars.in, options);
+    fresh.rename_image_to_current();
+    EXPECT_EQ(fresh.image(reached), warm.relation->image(reached));
+}
+
+TEST(parallel_image, small_operands_take_the_sequential_path) {
+    // a 3-bit counter's frontiers sit far under the fan-out floor: the
+    // engine must fall back to the sequential chain (parallel_chunks
+    // stays 0) and still produce the identical fixpoint
+    const network net = make_counter(3);
+    bdd_manager mgr;
+    auto [fns, vars] = setup(mgr, net);
+    const bdd init = state_cube(mgr, vars.cs, net.initial_state());
+    const auto nbits = static_cast<std::uint32_t>(vars.cs.size());
+
+    engine seq(mgr, fns, vars, 0);
+    engine par(mgr, fns, vars, 4);
+    const reach_info a = reachable_states_layered(*seq.relation, init, nbits);
+    const reach_info b = reachable_states_layered(*par.relation, init, nbits);
+    EXPECT_EQ(a.reached, b.reached);
+    EXPECT_EQ(par.relation->stats().parallel_chunks, 0u);
+    EXPECT_EQ(par.relation->stats().transfer_nodes, 0u);
+}
+
+} // namespace

@@ -373,6 +373,47 @@ TEST(relation_deadline, reachability_fixpoint_throws_past_deadline) {
     EXPECT_EQ(limited, reference);
 }
 
+TEST(relation_deadline, op_deadline_interrupts_inside_a_chain_step) {
+    // PR-10 regression pin: the budget used to be probed only *between*
+    // chain steps, so one long and_exists could overrun it without bound.
+    // schedule::apply now arms the manager's op-level deadline (probed
+    // every ~1024 computed-cache lookups inside the recursion) for the
+    // duration of the chain and translates bdd_deadline_exceeded into the
+    // one exception type relation consumers handle.  A deadline armed on
+    // the manager directly — no relation deadline at all, so none of the
+    // between-step checks can fire — must therefore surface from image()
+    // as relation_deadline_exceeded.
+    structured_spec spec;
+    spec.num_inputs = 4;
+    spec.num_latches = 16;
+    spec.seed = 5;
+    const network net = make_structured_mix(spec);
+    bdd_manager mgr;
+    auto [fns, vars] = setup(mgr, net);
+    const transition_relation rel = transition_relation::next_state(
+        mgr, fns.next_state, vars.cs, vars.ns, vars.in, {});
+    // an awkward xor-of-products state set drives the cold chain through
+    // several thousand cache probes — a one() or cube operand collapses
+    // too fast to cross even one ~1024-lookup stride
+    bdd from = mgr.zero();
+    for (std::size_t k = 0; k + 2 < vars.cs.size(); k += 3) {
+        from ^= mgr.var(vars.cs[k]) &
+                (mgr.var(vars.cs[k + 1]) | !mgr.var(vars.cs[k + 2]));
+    }
+
+    mgr.set_op_deadline(std::chrono::steady_clock::now() -
+                        std::chrono::seconds(1));
+    EXPECT_THROW((void)rel.image(from), relation_deadline_exceeded);
+    mgr.clear_op_deadline();
+    // disarmed, the identical call runs to completion and agrees with an
+    // independently built relation (the aborted chain left no bad state)
+    const bdd result = rel.image(from);
+    const transition_relation again = transition_relation::next_state(
+        mgr, fns.next_state, vars.cs, vars.ns, vars.in, {});
+    EXPECT_EQ(again.image(from), result);
+    EXPECT_FALSE(result.is_zero());
+}
+
 TEST(relation_deadline, saturation_fixpoint_throws_past_deadline) {
     // the saturation worklist checks the deadline at every pop, so a deep
     // recursion of chunk fires cannot outlive the budget between images
